@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation A3: graph-engine count and ADC sharing sweep.
+ *
+ * The paper fixes G = 64 GEs with one shared 1.0 GSps ADC per GE.
+ * This bench sweeps both knobs for PageRank on Amazon: GE count
+ * trades area for tile-level parallelism; ADC sharing trades area
+ * and power against conversion throughput (the classic ReRAM
+ * accelerator bottleneck).
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace graphr;
+    using namespace graphr::bench;
+
+    banner("Ablation A3: GE count / ADC sharing (PageRank on AZ)",
+           "design choice, GraphR (HPCA'18) section 5.2");
+
+    const CooGraph g = loadDataset(DatasetId::kAmazon);
+    PageRankParams pr_params;
+    pr_params.maxIterations = kPrIterations;
+    pr_params.tolerance = 0.0;
+
+    std::cout << "(a) GE count sweep (N = 32, 1 ADC/GE)\n";
+    TextTable ge_table;
+    ge_table.header({"G", "tile width", "time (s)", "energy (J)"});
+    for (std::uint32_t ge : {16u, 32u, 64u, 128u}) {
+        GraphRConfig cfg;
+        cfg.tiling.numGe = ge;
+        GraphRNode node(cfg);
+        const SimReport rep = node.runPageRank(g, pr_params);
+        ge_table.row({std::to_string(ge),
+                      std::to_string(8ull * 32 * ge),
+                      TextTable::sci(rep.seconds),
+                      TextTable::sci(rep.joules)});
+        std::cerr << "done G=" << ge << "\n";
+    }
+    ge_table.print(std::cout);
+
+    std::cout << "\n(b) ADC sharing sweep (paper config, varying "
+                 "ADCs per GE)\n";
+    TextTable adc_table;
+    adc_table.header({"ADCs/GE", "time (s)", "energy (J)"});
+    for (int adcs : {1, 2, 4, 8}) {
+        GraphRConfig cfg;
+        cfg.device.adcsPerGe = adcs;
+        GraphRNode node(cfg);
+        const SimReport rep = node.runPageRank(g, pr_params);
+        adc_table.row({std::to_string(adcs),
+                       TextTable::sci(rep.seconds),
+                       TextTable::sci(rep.joules)});
+        std::cerr << "done adcs=" << adcs << "\n";
+    }
+    adc_table.print(std::cout);
+    std::cout << "\nexpected: more GEs widen tiles (fewer, emptier "
+                 "tiles: diminishing returns); extra ADCs help only "
+                 "when conversion exceeds the GE cycle.\n";
+    return 0;
+}

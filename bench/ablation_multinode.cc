@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation A5: multi-node scaling (paper section 3.1's multi-node
+ * setting — "each block is processed by a GraphR node; data
+ * movements happen between GraphR nodes").
+ *
+ * Sweeps the cluster size for PageRank on LiveJournal and reports
+ * the per-iteration compute/communication split: stripes shrink the
+ * per-node sweep while the all-gather grows, giving the classic
+ * strong-scaling knee.
+ */
+
+#include "bench/bench_util.hh"
+#include "graphr/multi_node.hh"
+
+int
+main()
+{
+    using namespace graphr;
+    using namespace graphr::bench;
+
+    banner("Ablation A5: multi-node scaling (PageRank on LJ)",
+           "GraphR (HPCA'18), section 3.1 multi-node setting");
+
+    const CooGraph g = loadDataset(DatasetId::kLiveJournal);
+    PageRankParams params;
+    params.maxIterations = kPrIterations;
+    params.tolerance = 0.0;
+
+    double single_seconds = 0.0;
+    TextTable table;
+    table.header({"nodes", "time (s)", "speedup", "comm share",
+                  "energy (J)", "slowest sweep (s)"});
+    for (std::uint32_t nodes : {1u, 2u, 4u, 8u, 16u}) {
+        MultiNodeGraphR cluster(GraphRConfig{}, nodes);
+        const MultiNodeReport rep = cluster.runPageRank(g, params);
+        if (nodes == 1)
+            single_seconds = rep.seconds;
+        double max_sweep = 0.0;
+        for (double s : rep.nodeSweepSeconds)
+            max_sweep = std::max(max_sweep, s);
+        table.row({std::to_string(nodes), TextTable::sci(rep.seconds),
+                   TextTable::num(single_seconds / rep.seconds),
+                   TextTable::num(rep.commShare() * 100.0, 1) + "%",
+                   TextTable::sci(rep.joules),
+                   TextTable::sci(max_sweep)});
+        std::cerr << "done nodes=" << nodes << "\n";
+    }
+    table.print(std::cout);
+    std::cout << "\nexpected: near-linear compute scaling until the "
+                 "all-gather dominates.\n";
+    return 0;
+}

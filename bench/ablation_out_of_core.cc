@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation A6: out-of-core execution (paper Fig. 9 workflow).
+ *
+ * Runs PageRank on WebGoogle with the graph streamed from storage,
+ * sweeping block size and storage class. Because the preprocessed
+ * order makes every access sequential, even disk-resident graphs
+ * keep the node busy once the storage can sustain the edge stream —
+ * the paper's case for GraphR as a drop-in out-of-core accelerator.
+ */
+
+#include "bench/bench_util.hh"
+#include "graphr/out_of_core.hh"
+
+int
+main()
+{
+    using namespace graphr;
+    using namespace graphr::bench;
+
+    banner("Ablation A6: out-of-core streaming (PageRank on WG)",
+           "GraphR (HPCA'18), Fig. 9 / section 3.3");
+
+    const CooGraph g = loadDataset(DatasetId::kWebGoogle);
+    PageRankParams params;
+    params.maxIterations = kPrIterations;
+    params.tolerance = 0.0;
+
+    struct StorageClass
+    {
+        const char *name;
+        StorageParams params;
+    };
+    const StorageClass storages[] = {
+        {"HDD (0.15 GB/s)", {0.15, 8000.0, 15.0}},
+        {"SATA SSD (0.5 GB/s)", {0.5, 80.0, 10.0}},
+        {"NVMe SSD (3 GB/s)", {3.0, 10.0, 6.0}},
+    };
+
+    TextTable table;
+    table.header({"storage", "block size", "blocks", "disk (s)",
+                  "node (s)", "end-to-end (s)", "bound by"});
+    for (const StorageClass &storage : storages) {
+        for (std::uint32_t block : {0u, 131072u}) {
+            GraphRConfig cfg;
+            cfg.tiling.blockSize = block;
+            OutOfCoreRunner runner(cfg, storage.params);
+            const OutOfCoreReport rep = runner.runPageRank(g, params);
+            table.row(
+                {storage.name,
+                 block == 0 ? "whole graph" : std::to_string(block),
+                 std::to_string(rep.numBlocks),
+                 TextTable::sci(rep.diskSeconds),
+                 TextTable::sci(rep.node.seconds),
+                 TextTable::sci(rep.totalSeconds),
+                 rep.diskSeconds > rep.node.seconds ? "disk" : "node"});
+        }
+        std::cerr << "done " << storage.name << "\n";
+    }
+    table.print(std::cout);
+    std::cout << "\nexpected: all storage classes bottleneck a strict "
+                 "re-stream-every-iteration schedule (the node sweeps "
+                 "in ms); this is why the paper's in-memory setting "
+                 "keeps blocks resident in memory ReRAM and loads "
+                 "each block from disk once, with sequential-only "
+                 "I/O. Sequential streaming narrows the HDD-to-NVMe "
+                 "gap to the raw ~20x bandwidth ratio.\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries.
+ *
+ * Every bench regenerates one table or figure of the paper. Datasets
+ * are synthetic stand-ins at a configurable scale (see
+ * graph/datasets.hh); the GRAPHR_DATASET_SCALE environment variable
+ * overrides the default scale for quick or full runs.
+ */
+
+#ifndef GRAPHR_BENCH_BENCH_UTIL_HH
+#define GRAPHR_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algorithms/collaborative_filtering.hh"
+#include "algorithms/pagerank.hh"
+#include "baselines/cpu_model.hh"
+#include "common/table.hh"
+#include "graph/datasets.hh"
+#include "graphr/node.hh"
+
+namespace graphr::bench
+{
+
+/** PageRank iteration count used throughout the evaluation. */
+inline constexpr int kPrIterations = 20;
+
+/** CF epochs used throughout the evaluation. */
+inline constexpr int kCfEpochs = 3;
+
+/** The six non-bipartite datasets of Table 3, in order. */
+inline const std::vector<DatasetId> &
+graphDatasets()
+{
+    static const std::vector<DatasetId> ids = {
+        DatasetId::kWikiVote,    DatasetId::kSlashdot,
+        DatasetId::kAmazon,      DatasetId::kWebGoogle,
+        DatasetId::kLiveJournal, DatasetId::kOrkut,
+    };
+    return ids;
+}
+
+/** Generate a dataset at its bench scale. */
+inline CooGraph
+loadDataset(DatasetId id)
+{
+    return makeDataset(id, benchScale(id));
+}
+
+/** CF parameters for the Netflix workload (feature length 32). */
+inline CfParams
+netflixCfParams(const CooGraph &ratings)
+{
+    CfParams params;
+    // Items were appended after users by the bipartite generator; the
+    // user count is the highest src + 1.
+    VertexId users = 0;
+    for (const Edge &e : ratings.edges())
+        users = std::max(users, e.src + 1);
+    params.numUsers = users;
+    params.featureLength = 32;
+    params.epochs = kCfEpochs;
+    return params;
+}
+
+/** Banner printed at the top of each bench. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "==========================================================\n"
+              << title << "\n"
+              << "reproduces: " << paper_ref << "\n"
+              << "==========================================================\n\n";
+}
+
+} // namespace graphr::bench
+
+#endif // GRAPHR_BENCH_BENCH_UTIL_HH

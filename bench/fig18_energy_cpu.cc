@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Regenerates paper Figure 18: GraphR energy saving over the CPU
+ * baseline (same application x dataset sweep as Figure 17).
+ *
+ * Paper-reported shape: geomean 33.82x, max 217.88x (SpMV on SD),
+ * min 4.50x (SSSP on OK).
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace graphr;
+    using namespace graphr::bench;
+
+    banner("Figure 18: GraphR Energy Saving Normalized to CPU",
+           "GraphR (HPCA'18), Figure 18");
+
+    CpuModel cpu;
+    GraphRNode node;
+
+    PageRankParams pr_params;
+    pr_params.maxIterations = kPrIterations;
+    pr_params.tolerance = 0.0;
+
+    TextTable table;
+    table.header({"app", "dataset", "energy saving vs CPU"});
+    std::vector<double> all;
+    double max_saving = 0.0;
+    double min_saving = 1e30;
+    std::string max_label;
+    std::string min_label;
+
+    auto record = [&](const std::string &app, const std::string &ds,
+                      double saving) {
+        table.row({app, ds, TextTable::num(saving)});
+        all.push_back(saving);
+        if (saving > max_saving) {
+            max_saving = saving;
+            max_label = app + "/" + ds;
+        }
+        if (saving < min_saving) {
+            min_saving = saving;
+            min_label = app + "/" + ds;
+        }
+    };
+
+    for (const DatasetId id : graphDatasets()) {
+        const DatasetInfo &info = datasetInfo(id);
+        const CooGraph g = loadDataset(id);
+        const std::vector<Value> x(g.numVertices(), 1.0);
+        record("PageRank", info.shortName,
+               cpu.runPageRank(g, kPrIterations).joules /
+                   node.runPageRank(g, pr_params).joules);
+        record("BFS", info.shortName,
+               cpu.runBfs(g, 0).joules / node.runBfs(g, 0).joules);
+        record("SSSP", info.shortName,
+               cpu.runSssp(g, 0).joules / node.runSssp(g, 0).joules);
+        record("SpMV", info.shortName,
+               cpu.runSpmv(g).joules / node.runSpmv(g, x).joules);
+        std::cerr << "done " << info.shortName << "\n";
+    }
+    {
+        const CooGraph ratings = loadDataset(DatasetId::kNetflix);
+        const CfParams cf = netflixCfParams(ratings);
+        record("CF", "NF",
+               cpu.runCf(ratings, cf).joules /
+                   GraphRNode().runCf(ratings, cf).joules);
+        std::cerr << "done NF\n";
+    }
+
+    table.print(std::cout);
+    std::cout << "\ngeomean energy saving: "
+              << TextTable::num(geomean(all))
+              << "x   (paper: 33.82x)\n";
+    std::cout << "max: " << TextTable::num(max_saving) << "x on "
+              << max_label << "   (paper: 217.88x on SpMV/SD)\n";
+    std::cout << "min: " << TextTable::num(min_saving) << "x on "
+              << min_label << "   (paper: 4.50x on SSSP/OK)\n";
+    return 0;
+}

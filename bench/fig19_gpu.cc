@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Regenerates paper Figure 19: GraphR performance and energy saving
+ * compared to the GPU platform (Tesla K40c running Gunrock /
+ * CuMF_SGD), normalised to the CPU baseline.
+ *
+ * Workloads as in the paper: PageRank and SSSP on LiveJournal, CF on
+ * Netflix. Paper-reported shape: GraphR 1.69x-2.19x faster than GPU
+ * and 4.77x-8.91x more energy efficient; GPU gap larger on the
+ * MAC-dominated PR/CF than on SSSP.
+ */
+
+#include "baselines/gpu_model.hh"
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace graphr;
+    using namespace graphr::bench;
+
+    banner("Figure 19: GraphR vs GPU (normalized to CPU)",
+           "GraphR (HPCA'18), Figure 19");
+
+    CpuModel cpu;
+    GpuModel gpu;
+    GraphRNode node;
+
+    PageRankParams pr_params;
+    pr_params.maxIterations = kPrIterations;
+    pr_params.tolerance = 0.0;
+
+    struct Row
+    {
+        std::string app;
+        double cpu_s, gpu_s, graphr_s;
+        double cpu_j, gpu_j, graphr_j;
+    };
+    std::vector<Row> rows;
+
+    {
+        const CooGraph lj = loadDataset(DatasetId::kLiveJournal);
+        std::cerr << "LJ generated: " << lj.numVertices() << " / "
+                  << lj.numEdges() << "\n";
+        const BaselineReport c = cpu.runPageRank(lj, kPrIterations);
+        const BaselineReport g = gpu.runPageRank(lj, kPrIterations);
+        const SimReport r = node.runPageRank(lj, pr_params);
+        rows.push_back({"PR(LJ)", c.seconds, g.seconds, r.seconds,
+                        c.joules, g.joules, r.joules});
+
+        const BaselineReport cs = cpu.runSssp(lj, 0);
+        const BaselineReport gs = gpu.runSssp(lj, 0);
+        const SimReport rs = node.runSssp(lj, 0);
+        rows.push_back({"SSSP(LJ)", cs.seconds, gs.seconds, rs.seconds,
+                        cs.joules, gs.joules, rs.joules});
+    }
+    {
+        const CooGraph nf = loadDataset(DatasetId::kNetflix);
+        const CfParams cf = netflixCfParams(nf);
+        const BaselineReport c = cpu.runCf(nf, cf);
+        const BaselineReport g = gpu.runCf(nf, cf);
+        const SimReport r = node.runCf(nf, cf);
+        rows.push_back({"CF(NF)", c.seconds, g.seconds, r.seconds,
+                        c.joules, g.joules, r.joules});
+    }
+
+    TextTable perf;
+    perf.header({"workload", "CPU", "GPU", "GraphR",
+                 "GraphR/GPU speedup"});
+    TextTable energy;
+    energy.header({"workload", "CPU", "GPU", "GraphR",
+                   "GraphR/GPU energy saving"});
+    for (const Row &r : rows) {
+        perf.row({r.app, "1.00", TextTable::num(r.cpu_s / r.gpu_s),
+                  TextTable::num(r.cpu_s / r.graphr_s),
+                  TextTable::num(r.gpu_s / r.graphr_s)});
+        energy.row({r.app, "1.00", TextTable::num(r.cpu_j / r.gpu_j),
+                    TextTable::num(r.cpu_j / r.graphr_j),
+                    TextTable::num(r.gpu_j / r.graphr_j)});
+    }
+    std::cout << "(a) Performance normalized to CPU\n";
+    perf.print(std::cout);
+    std::cout << "\n(b) Energy saving normalized to CPU\n";
+    energy.print(std::cout);
+    std::cout << "\npaper shape: GraphR 1.69x-2.19x faster and "
+                 "4.77x-8.91x more energy efficient than GPU\n";
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Regenerates paper Figure 20: GraphR performance and energy saving
+ * compared to the PIM (Tesseract-like) platform, normalised to the
+ * CPU baseline.
+ *
+ * Workloads as in the paper: PageRank and SSSP on WV, AZ and LJ.
+ * Paper-reported shape: GraphR 1.16x-4.12x faster and 3.67x-10.96x
+ * more energy efficient than PIM.
+ */
+
+#include "baselines/pim_model.hh"
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace graphr;
+    using namespace graphr::bench;
+
+    banner("Figure 20: GraphR vs PIM (normalized to CPU)",
+           "GraphR (HPCA'18), Figure 20");
+
+    CpuModel cpu;
+    PimModel pim;
+    GraphRNode node;
+
+    PageRankParams pr_params;
+    pr_params.maxIterations = kPrIterations;
+    pr_params.tolerance = 0.0;
+
+    const std::vector<DatasetId> sets = {
+        DatasetId::kWikiVote, DatasetId::kAmazon,
+        DatasetId::kLiveJournal};
+
+    TextTable perf;
+    perf.header({"workload", "CPU", "PIM", "GraphR",
+                 "GraphR/PIM speedup"});
+    TextTable energy;
+    energy.header({"workload", "CPU", "PIM", "GraphR",
+                   "GraphR/PIM energy saving"});
+
+    std::vector<double> perf_ratios;
+    std::vector<double> energy_ratios;
+
+    auto record = [&](const std::string &label, double cpu_s,
+                      double pim_s, double graphr_s, double cpu_j,
+                      double pim_j, double graphr_j) {
+        perf.row({label, "1.00", TextTable::num(cpu_s / pim_s),
+                  TextTable::num(cpu_s / graphr_s),
+                  TextTable::num(pim_s / graphr_s)});
+        energy.row({label, "1.00", TextTable::num(cpu_j / pim_j),
+                    TextTable::num(cpu_j / graphr_j),
+                    TextTable::num(pim_j / graphr_j)});
+        perf_ratios.push_back(pim_s / graphr_s);
+        energy_ratios.push_back(pim_j / graphr_j);
+    };
+
+    for (const DatasetId id : sets) {
+        const DatasetInfo &info = datasetInfo(id);
+        const CooGraph g = loadDataset(id);
+        const BaselineReport c = cpu.runPageRank(g, kPrIterations);
+        const BaselineReport p = pim.runPageRank(g, kPrIterations);
+        const SimReport r = node.runPageRank(g, pr_params);
+        record("PR(" + info.shortName + ")", c.seconds, p.seconds,
+               r.seconds, c.joules, p.joules, r.joules);
+        std::cerr << "done PR " << info.shortName << "\n";
+    }
+    for (const DatasetId id : sets) {
+        const DatasetInfo &info = datasetInfo(id);
+        const CooGraph g = loadDataset(id);
+        const BaselineReport c = cpu.runSssp(g, 0);
+        const BaselineReport p = pim.runSssp(g, 0);
+        const SimReport r = node.runSssp(g, 0);
+        record("SSSP(" + info.shortName + ")", c.seconds, p.seconds,
+               r.seconds, c.joules, p.joules, r.joules);
+        std::cerr << "done SSSP " << info.shortName << "\n";
+    }
+
+    std::cout << "(a) Performance normalized to CPU\n";
+    perf.print(std::cout);
+    std::cout << "\n(b) Energy saving normalized to CPU\n";
+    energy.print(std::cout);
+
+    double pmin = 1e30, pmax = 0, emin = 1e30, emax = 0;
+    for (double v : perf_ratios) {
+        pmin = std::min(pmin, v);
+        pmax = std::max(pmax, v);
+    }
+    for (double v : energy_ratios) {
+        emin = std::min(emin, v);
+        emax = std::max(emax, v);
+    }
+    std::cout << "\nGraphR vs PIM: speedup " << TextTable::num(pmin)
+              << "x-" << TextTable::num(pmax)
+              << "x (paper: 1.16x-4.12x), energy "
+              << TextTable::num(emin) << "x-" << TextTable::num(emax)
+              << "x (paper: 3.67x-10.96x)\n";
+    return 0;
+}

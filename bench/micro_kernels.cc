@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the hot simulation kernels:
+ * crossbar MVM, preprocessing sort, tile-meta extraction and the
+ * node-level PageRank sweep. These track the *simulator's* own
+ * performance, not the modelled hardware.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "graph/generator.hh"
+#include "graph/preprocess.hh"
+#include "graphr/node.hh"
+#include "graphr/tile_meta.hh"
+#include "rram/crossbar.hh"
+
+namespace
+{
+
+using namespace graphr;
+
+void
+BM_CrossbarMvm(benchmark::State &state)
+{
+    const auto dim = static_cast<std::uint32_t>(state.range(0));
+    DeviceParams params;
+    Crossbar cb(dim, params);
+    Rng rng(1);
+    for (std::uint32_t r = 0; r < dim; ++r)
+        for (std::uint32_t c = 0; c < dim; ++c)
+            cb.programValue(r, c,
+                            FixedPoint::fromRaw(
+                                static_cast<FixedPoint::Raw>(
+                                    rng.below(65536)),
+                                0));
+    std::vector<FixedPoint::Raw> x(dim);
+    for (auto &v : x)
+        v = static_cast<FixedPoint::Raw>(rng.below(65536));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cb.mvmRaw(x));
+    }
+    state.SetItemsProcessed(state.iterations() * dim * dim);
+}
+BENCHMARK(BM_CrossbarMvm)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_Preprocess(benchmark::State &state)
+{
+    const auto edges = static_cast<EdgeId>(state.range(0));
+    const CooGraph g = makeRmat({.numVertices =
+                                     static_cast<VertexId>(edges / 8),
+                                 .numEdges = edges,
+                                 .seed = 2});
+    const GridPartition part(g.numVertices(), TilingParams{});
+    for (auto _ : state) {
+        OrderedEdgeList ordered(g, part);
+        benchmark::DoNotOptimize(ordered.numNonEmptyTiles());
+    }
+    state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_Preprocess)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void
+BM_TileMeta(benchmark::State &state)
+{
+    const auto edges = static_cast<EdgeId>(state.range(0));
+    const CooGraph g = makeRmat({.numVertices =
+                                     static_cast<VertexId>(edges / 8),
+                                 .numEdges = edges,
+                                 .seed = 3});
+    const GridPartition part(g.numVertices(), TilingParams{});
+    const OrderedEdgeList ordered(g, part);
+    for (auto _ : state) {
+        TileMetaTable meta(ordered);
+        benchmark::DoNotOptimize(meta.totalNnz());
+    }
+    state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_TileMeta)->Arg(10000)->Arg(100000);
+
+void
+BM_NodePageRankSweep(benchmark::State &state)
+{
+    const auto edges = static_cast<EdgeId>(state.range(0));
+    const CooGraph g = makeRmat({.numVertices =
+                                     static_cast<VertexId>(edges / 8),
+                                 .numEdges = edges,
+                                 .seed = 4});
+    GraphRNode node;
+    PageRankParams params;
+    params.maxIterations = 10;
+    params.tolerance = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(node.runPageRank(g, params).seconds);
+    }
+    state.SetItemsProcessed(state.iterations() * edges * 10);
+}
+BENCHMARK(BM_NodePageRankSweep)->Arg(100000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+#include "collaborative_filtering.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace graphr
+{
+
+double
+cfRmse(const CooGraph &ratings, VertexId num_users, int k,
+       const std::vector<double> &user_factors,
+       const std::vector<double> &item_factors)
+{
+    GRAPHR_ASSERT(ratings.numEdges() > 0, "no ratings");
+    double sse = 0.0;
+    for (const Edge &e : ratings.edges()) {
+        const std::size_t u = static_cast<std::size_t>(e.src) * k;
+        const std::size_t i =
+            static_cast<std::size_t>(e.dst - num_users) * k;
+        double pred = 0.0;
+        for (int f = 0; f < k; ++f)
+            pred += user_factors[u + f] * item_factors[i + f];
+        const double err = pred - e.weight;
+        sse += err * err;
+    }
+    return std::sqrt(sse / static_cast<double>(ratings.numEdges()));
+}
+
+CfResult
+collaborativeFiltering(const CooGraph &ratings, const CfParams &params)
+{
+    GRAPHR_ASSERT(params.numUsers > 0 &&
+                      params.numUsers < ratings.numVertices(),
+                  "invalid user count ", params.numUsers);
+    GRAPHR_ASSERT(params.featureLength > 0, "feature length must be > 0");
+    const VertexId num_items = ratings.numVertices() - params.numUsers;
+    const int k = params.featureLength;
+
+    for (const Edge &e : ratings.edges()) {
+        GRAPHR_ASSERT(e.src < params.numUsers, "rating source ", e.src,
+                      " is not a user");
+        GRAPHR_ASSERT(e.dst >= params.numUsers, "rating target ", e.dst,
+                      " is not an item");
+    }
+
+    Rng rng(params.seed);
+    CfResult result;
+    result.userFactors.resize(static_cast<std::size_t>(params.numUsers) *
+                              k);
+    result.itemFactors.resize(static_cast<std::size_t>(num_items) * k);
+    const double init_scale = 1.0 / std::sqrt(static_cast<double>(k));
+    for (double &f : result.userFactors)
+        f = rng.uniform() * init_scale;
+    for (double &f : result.itemFactors)
+        f = rng.uniform() * init_scale;
+
+    for (int epoch = 0; epoch < params.epochs; ++epoch) {
+        for (const Edge &e : ratings.edges()) {
+            const std::size_t u = static_cast<std::size_t>(e.src) * k;
+            const std::size_t i =
+                static_cast<std::size_t>(e.dst - params.numUsers) * k;
+            double pred = 0.0;
+            for (int f = 0; f < k; ++f)
+                pred += result.userFactors[u + f] *
+                        result.itemFactors[i + f];
+            const double err = e.weight - pred;
+            for (int f = 0; f < k; ++f) {
+                const double uf = result.userFactors[u + f];
+                const double vf = result.itemFactors[i + f];
+                result.userFactors[u + f] +=
+                    params.learningRate *
+                    (err * vf - params.regularization * uf);
+                result.itemFactors[i + f] +=
+                    params.learningRate *
+                    (err * uf - params.regularization * vf);
+            }
+        }
+        result.rmsePerEpoch.push_back(
+            cfRmse(ratings, params.numUsers, k, result.userFactors,
+                   result.itemFactors));
+    }
+    return result;
+}
+
+} // namespace graphr

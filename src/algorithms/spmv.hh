@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Golden sparse matrix-vector multiplication (Table 2, first row).
+ *
+ * The paper's SpMV application computes, per iteration,
+ *   y[dst] = sum over in-edges of (x[src] / outdeg(src)) * weight,
+ * i.e. the transition-matrix product used by PageRank without the
+ * teleport term.
+ */
+
+#ifndef GRAPHR_ALGORITHMS_SPMV_HH
+#define GRAPHR_ALGORITHMS_SPMV_HH
+
+#include <vector>
+
+#include "graph/coo.hh"
+
+namespace graphr
+{
+
+/**
+ * One SpMV pass y = A^T x with A the weighted, out-degree-normalised
+ * adjacency matrix (paper Table 2 processEdge/reduce definitions).
+ * Vertices with zero out-degree contribute nothing.
+ */
+std::vector<Value> spmv(const CooGraph &graph, const std::vector<Value> &x);
+
+/**
+ * Plain y = A^T x without degree normalisation, used by tests to
+ * validate the crossbar analog MVM against a digital computation.
+ */
+std::vector<Value> spmvRaw(const CooGraph &graph,
+                           const std::vector<Value> &x);
+
+} // namespace graphr
+
+#endif // GRAPHR_ALGORITHMS_SPMV_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Common result record for the CPU/GPU/PIM baseline models.
+ */
+
+#ifndef GRAPHR_BASELINES_BASELINE_REPORT_HH
+#define GRAPHR_BASELINES_BASELINE_REPORT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace graphr
+{
+
+/** Time/energy outcome of one baseline execution. */
+struct BaselineReport
+{
+    std::string platform;  ///< "cpu", "gpu" or "pim"
+    std::string algorithm;
+    double seconds = 0.0;
+    double joules = 0.0;
+    std::uint64_t iterations = 0;
+    std::uint64_t edgesProcessed = 0;
+    /** Sequential bytes streamed (edge data). */
+    std::uint64_t sequentialBytes = 0;
+    /** Random accesses issued (vertex data). */
+    std::uint64_t randomAccesses = 0;
+    /** DRAM line fetches (CPU model only). */
+    std::uint64_t dramAccesses = 0;
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_BASELINES_BASELINE_REPORT_HH

@@ -1,0 +1,107 @@
+#include "cache_sim.hh"
+
+#include "common/logging.hh"
+
+namespace graphr
+{
+
+CacheStats &
+CacheStats::operator+=(const CacheStats &other)
+{
+    accesses += other.accesses;
+    l1Hits += other.l1Hits;
+    l2Hits += other.l2Hits;
+    l3Hits += other.l3Hits;
+    dramAccesses += other.dramAccesses;
+    cycles += other.cycles;
+    return *this;
+}
+
+CacheLevel::CacheLevel(const CacheLevelParams &params) : params_(params)
+{
+    GRAPHR_ASSERT(params_.lineBytes > 0 && params_.associativity > 0,
+                  "bad cache level parameters");
+    numSets_ = params_.sizeBytes /
+               (static_cast<std::uint64_t>(params_.lineBytes) *
+                params_.associativity);
+    GRAPHR_ASSERT(numSets_ > 0, "cache too small for its associativity");
+    tags_.assign(numSets_ * params_.associativity, 0);
+    stamps_.assign(numSets_ * params_.associativity, 0);
+}
+
+void
+CacheLevel::reset()
+{
+    std::fill(tags_.begin(), tags_.end(), 0);
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+    clock_ = 0;
+}
+
+bool
+CacheLevel::access(std::uint64_t line_addr)
+{
+    // Tag 0 marks invalid entries; offset stored tags by 1.
+    const std::uint64_t tag = line_addr + 1;
+    const std::uint64_t set = line_addr % numSets_;
+    const std::size_t base = set * params_.associativity;
+    ++clock_;
+
+    std::size_t victim = base;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (std::uint32_t w = 0; w < params_.associativity; ++w) {
+        const std::size_t idx = base + w;
+        if (tags_[idx] == tag) {
+            stamps_[idx] = clock_;
+            return true;
+        }
+        if (stamps_[idx] < oldest) {
+            oldest = stamps_[idx];
+            victim = idx;
+        }
+    }
+    tags_[victim] = tag;
+    stamps_[victim] = clock_;
+    return false;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheHierarchyParams &params)
+    : params_(params), l1_(params.l1), l2_(params.l2), l3_(params.l3)
+{
+}
+
+void
+CacheHierarchy::reset()
+{
+    l1_.reset();
+    l2_.reset();
+    l3_.reset();
+    stats_ = CacheStats{};
+}
+
+std::uint32_t
+CacheHierarchy::access(std::uint64_t byte_addr)
+{
+    const std::uint64_t line = byte_addr / params_.l1.lineBytes;
+    ++stats_.accesses;
+    std::uint32_t latency = l1_.hitCycles();
+    if (l1_.access(line)) {
+        ++stats_.l1Hits;
+    } else {
+        latency += l2_.hitCycles();
+        if (l2_.access(line)) {
+            ++stats_.l2Hits;
+        } else {
+            latency += l3_.hitCycles();
+            if (l3_.access(line)) {
+                ++stats_.l3Hits;
+            } else {
+                latency += params_.dramCycles;
+                ++stats_.dramAccesses;
+            }
+        }
+    }
+    stats_.cycles += latency;
+    return latency;
+}
+
+} // namespace graphr

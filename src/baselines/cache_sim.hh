@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Multi-level set-associative cache + DRAM model.
+ *
+ * The CPU baseline (GridGraph-style dual sliding windows) is
+ * trace-driven: each vertex/edge access goes through this hierarchy
+ * and the model accumulates cycles and DRAM traffic. The hierarchy
+ * defaults mirror the paper's Xeon E5-2630 v3 (Table 4): 32 KB L1D,
+ * 256 KB L2, 20 MB shared L3, 64 B lines.
+ */
+
+#ifndef GRAPHR_BASELINES_CACHE_SIM_HH
+#define GRAPHR_BASELINES_CACHE_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace graphr
+{
+
+/** Configuration of one cache level. */
+struct CacheLevelParams
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t associativity = 8;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t hitCycles = 4;
+};
+
+/** Hierarchy configuration plus DRAM behaviour. */
+struct CacheHierarchyParams
+{
+    CacheLevelParams l1{32 * 1024, 8, 64, 4};
+    CacheLevelParams l2{256 * 1024, 8, 64, 12};
+    CacheLevelParams l3{20 * 1024 * 1024, 20, 64, 38};
+    std::uint32_t dramCycles = 250;    ///< ~104 ns at 2.4 GHz
+    double dramEnergyPjPerLine = 1280; ///< ~20 pJ/bit * 64 B
+};
+
+/** Access statistics accumulated by the hierarchy. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l3Hits = 0;
+    std::uint64_t dramAccesses = 0;
+    std::uint64_t cycles = 0;
+
+    CacheStats &operator+=(const CacheStats &other);
+};
+
+/** One set-associative LRU cache level. */
+class CacheLevel
+{
+  public:
+    explicit CacheLevel(const CacheLevelParams &params);
+
+    /** Look up a line address; inserts on miss. True on hit. */
+    bool access(std::uint64_t line_addr);
+
+    std::uint32_t hitCycles() const { return params_.hitCycles; }
+
+    void reset();
+
+  private:
+    CacheLevelParams params_;
+    std::uint64_t numSets_;
+    /** ways per set: tag (line address) per way; 0 = invalid. */
+    std::vector<std::uint64_t> tags_;
+    /** LRU stamps parallel to tags_. */
+    std::vector<std::uint64_t> stamps_;
+    std::uint64_t clock_ = 0;
+};
+
+/** Three-level inclusive hierarchy with a flat DRAM backend. */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(
+        const CacheHierarchyParams &params = CacheHierarchyParams{});
+
+    /**
+     * Perform one data access at a byte address; returns the latency
+     * in cycles and updates the statistics.
+     */
+    std::uint32_t access(std::uint64_t byte_addr);
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheHierarchyParams &params() const { return params_; }
+
+    void reset();
+
+  private:
+    CacheHierarchyParams params_;
+    CacheLevel l1_;
+    CacheLevel l2_;
+    CacheLevel l3_;
+    CacheStats stats_;
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_BASELINES_CACHE_SIM_HH

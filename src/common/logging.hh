@@ -1,0 +1,71 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic() is for internal invariant violations (simulator bugs) and
+ * aborts; fatal() is for user-caused conditions (bad configuration)
+ * and exits cleanly with an error code.
+ */
+
+#ifndef GRAPHR_COMMON_LOGGING_HH
+#define GRAPHR_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace graphr
+{
+
+namespace detail
+{
+
+/** Concatenate a pack of streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort on an internal simulator bug. */
+#define GRAPHR_PANIC(...)                                                    \
+    ::graphr::detail::panicImpl(__FILE__, __LINE__,                          \
+                                ::graphr::detail::concat(__VA_ARGS__))
+
+/** Exit(1) on a user error (bad parameters, malformed input). */
+#define GRAPHR_FATAL(...)                                                    \
+    ::graphr::detail::fatalImpl(__FILE__, __LINE__,                          \
+                                ::graphr::detail::concat(__VA_ARGS__))
+
+/** Non-fatal warning about questionable but tolerable conditions. */
+#define GRAPHR_WARN(...)                                                     \
+    ::graphr::detail::warnImpl(::graphr::detail::concat(__VA_ARGS__))
+
+/** Informational status message. */
+#define GRAPHR_INFORM(...)                                                   \
+    ::graphr::detail::informImpl(::graphr::detail::concat(__VA_ARGS__))
+
+/** panic() if the condition does not hold. */
+#define GRAPHR_ASSERT(cond, ...)                                             \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            GRAPHR_PANIC("assertion failed: " #cond " ", __VA_ARGS__);       \
+        }                                                                    \
+    } while (false)
+
+} // namespace graphr
+
+#endif // GRAPHR_COMMON_LOGGING_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Lightweight named statistics: scalar counters and formatted dumps.
+ *
+ * Loosely modelled on gem5's stats package; every simulated component
+ * registers counters in a StatGroup so benches can print coherent
+ * breakdowns.
+ */
+
+#ifndef GRAPHR_COMMON_STATS_HH
+#define GRAPHR_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace graphr
+{
+
+/** A group of named 64-bit counters with hierarchical names. */
+class StatGroup
+{
+  public:
+    /** Add delta to the named counter, creating it at zero if new. */
+    void
+    add(const std::string &name, std::uint64_t delta)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Set a counter to an absolute value. */
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Read a counter; missing counters read as zero. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Whether the counter exists. */
+    bool
+    has(const std::string &name) const
+    {
+        return counters_.find(name) != counters_.end();
+    }
+
+    /** Merge another group into this one (summing counters). */
+    void
+    merge(const StatGroup &other)
+    {
+        for (const auto &[name, value] : other.counters_)
+            counters_[name] += value;
+    }
+
+    /** Remove all counters. */
+    void clear() { counters_.clear(); }
+
+    /** Dump "name value" lines sorted by name. */
+    void
+    dump(std::ostream &os, const std::string &prefix = "") const
+    {
+        for (const auto &[name, value] : counters_)
+            os << prefix << name << " " << value << "\n";
+    }
+
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_COMMON_STATS_HH

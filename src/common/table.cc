@@ -1,0 +1,22 @@
+#include "table.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace graphr
+{
+
+double
+geomean(const std::vector<double> &values)
+{
+    GRAPHR_ASSERT(!values.empty(), "geomean of empty vector");
+    double log_sum = 0.0;
+    for (double v : values) {
+        GRAPHR_ASSERT(v > 0.0, "geomean requires positive values, got ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace graphr

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fixed-width text table formatting for bench output.
+ *
+ * Every bench binary prints the rows/series of the paper table or
+ * figure it regenerates; this helper keeps that output aligned and
+ * uniform.
+ */
+
+#ifndef GRAPHR_COMMON_TABLE_HH
+#define GRAPHR_COMMON_TABLE_HH
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace graphr
+{
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void
+    header(std::vector<std::string> cells)
+    {
+        header_ = std::move(cells);
+    }
+
+    /** Append a data row (cells already formatted as strings). */
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Format a double with the given precision. */
+    static std::string
+    num(double v, int precision = 2)
+    {
+        std::ostringstream oss;
+        oss << std::fixed << std::setprecision(precision) << v;
+        return oss.str();
+    }
+
+    /** Format a double in scientific notation. */
+    static std::string
+    sci(double v, int precision = 3)
+    {
+        std::ostringstream oss;
+        oss << std::scientific << std::setprecision(precision) << v;
+        return oss.str();
+    }
+
+    /** Render the table. */
+    void
+    print(std::ostream &os) const
+    {
+        std::vector<std::size_t> widths;
+        auto grow = [&widths](const std::vector<std::string> &cells) {
+            if (widths.size() < cells.size())
+                widths.resize(cells.size(), 0);
+            for (std::size_t i = 0; i < cells.size(); ++i)
+                widths[i] = std::max(widths[i], cells[i].size());
+        };
+        grow(header_);
+        for (const auto &r : rows_)
+            grow(r);
+
+        auto emit = [&](const std::vector<std::string> &cells) {
+            for (std::size_t i = 0; i < cells.size(); ++i) {
+                os << std::left << std::setw(static_cast<int>(widths[i] + 2))
+                   << cells[i];
+            }
+            os << "\n";
+        };
+        emit(header_);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+        for (const auto &r : rows_)
+            emit(r);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Geometric mean of a vector of positive values. */
+double geomean(const std::vector<double> &values);
+
+} // namespace graphr
+
+#endif // GRAPHR_COMMON_TABLE_HH

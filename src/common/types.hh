@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every GraphR module.
+ */
+
+#ifndef GRAPHR_COMMON_TYPES_HH
+#define GRAPHR_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace graphr
+{
+
+/** Vertex identifier. Graphs up to 2^32 - 1 vertices are supported. */
+using VertexId = std::uint32_t;
+
+/** Edge count / edge index type. Large graphs exceed 2^32 edges. */
+using EdgeId = std::uint64_t;
+
+/** Edge weight / vertex property value used by golden algorithms. */
+using Value = double;
+
+/** Simulated time in picoseconds (integer to keep simulation exact). */
+using PicoSeconds = std::uint64_t;
+
+/** Simulated energy in femtojoules (integer, exact accumulation). */
+using FemtoJoules = std::uint64_t;
+
+/** Sentinel for "no vertex". */
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/** Sentinel used by BFS/SSSP for unreachable vertices ("M" in the paper). */
+inline constexpr Value kInfDistance = std::numeric_limits<Value>::infinity();
+
+/** Convert picoseconds to seconds. */
+inline constexpr double
+toSeconds(PicoSeconds ps)
+{
+    return static_cast<double>(ps) * 1e-12;
+}
+
+/** Convert femtojoules to joules. */
+inline constexpr double
+toJoules(FemtoJoules fj)
+{
+    return static_cast<double>(fj) * 1e-15;
+}
+
+/** Convert nanoseconds (floating) to integer picoseconds, rounding. */
+inline constexpr PicoSeconds
+nsToPs(double ns)
+{
+    return static_cast<PicoSeconds>(ns * 1e3 + 0.5);
+}
+
+/** Convert picojoules (floating) to integer femtojoules, rounding. */
+inline constexpr FemtoJoules
+pjToFj(double pj)
+{
+    return static_cast<FemtoJoules>(pj * 1e3 + 0.5);
+}
+
+} // namespace graphr
+
+#endif // GRAPHR_COMMON_TYPES_HH

@@ -1,0 +1,84 @@
+#include "coo.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace graphr
+{
+
+CooGraph::CooGraph(VertexId num_vertices, std::vector<Edge> edges)
+    : numVertices_(num_vertices), edges_(std::move(edges))
+{
+    for (const Edge &e : edges_) {
+        GRAPHR_ASSERT(e.src < numVertices_ && e.dst < numVertices_,
+                      "edge (", e.src, ",", e.dst, ") out of range for |V|=",
+                      numVertices_);
+    }
+}
+
+void
+CooGraph::addEdge(VertexId src, VertexId dst, Value weight)
+{
+    GRAPHR_ASSERT(src < numVertices_ && dst < numVertices_,
+                  "edge (", src, ",", dst, ") out of range for |V|=",
+                  numVertices_);
+    edges_.push_back(Edge{src, dst, weight});
+}
+
+void
+CooGraph::sortBySource()
+{
+    std::sort(edges_.begin(), edges_.end(),
+              [](const Edge &a, const Edge &b) {
+                  return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+              });
+}
+
+void
+CooGraph::dedupe()
+{
+    sortBySource();
+    auto last = std::unique(edges_.begin(), edges_.end(),
+                            [](const Edge &a, const Edge &b) {
+                                return a.src == b.src && a.dst == b.dst;
+                            });
+    edges_.erase(last, edges_.end());
+}
+
+void
+CooGraph::removeSelfLoops()
+{
+    auto last = std::remove_if(edges_.begin(), edges_.end(),
+                               [](const Edge &e) { return e.src == e.dst; });
+    edges_.erase(last, edges_.end());
+}
+
+std::vector<EdgeId>
+CooGraph::outDegrees() const
+{
+    std::vector<EdgeId> deg(numVertices_, 0);
+    for (const Edge &e : edges_)
+        ++deg[e.src];
+    return deg;
+}
+
+std::vector<EdgeId>
+CooGraph::inDegrees() const
+{
+    std::vector<EdgeId> deg(numVertices_, 0);
+    for (const Edge &e : edges_)
+        ++deg[e.dst];
+    return deg;
+}
+
+double
+CooGraph::density() const
+{
+    if (numVertices_ == 0)
+        return 0.0;
+    const double nv = static_cast<double>(numVertices_);
+    return static_cast<double>(numEdges()) / (nv * nv);
+}
+
+} // namespace graphr

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Coordinate-list (COO) graph container.
+ */
+
+#ifndef GRAPHR_GRAPH_COO_HH
+#define GRAPHR_GRAPH_COO_HH
+
+#include <span>
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/edge.hh"
+
+namespace graphr
+{
+
+/**
+ * A directed graph stored as a coordinate list, the representation
+ * GraphR keeps in memory ReRAM and on disk (paper Fig. 4/5). Vertices
+ * are implicit in [0, numVertices).
+ */
+class CooGraph
+{
+  public:
+    CooGraph() = default;
+
+    /** Construct from an explicit vertex count and edge list. */
+    CooGraph(VertexId num_vertices, std::vector<Edge> edges);
+
+    VertexId numVertices() const { return numVertices_; }
+    EdgeId numEdges() const { return static_cast<EdgeId>(edges_.size()); }
+    std::span<const Edge> edges() const { return edges_; }
+    std::vector<Edge> &mutableEdges() { return edges_; }
+
+    /** Append one edge; endpoints must be < numVertices(). */
+    void addEdge(VertexId src, VertexId dst, Value weight = 1.0);
+
+    /** Sort edges by (src, dst) — the paper's assumed initial order. */
+    void sortBySource();
+
+    /** Remove duplicate (src, dst) pairs, keeping the first weight. */
+    void dedupe();
+
+    /** Remove self loops (src == dst). */
+    void removeSelfLoops();
+
+    /** Out-degree of every vertex. */
+    std::vector<EdgeId> outDegrees() const;
+
+    /** In-degree of every vertex. */
+    std::vector<EdgeId> inDegrees() const;
+
+    /** Edge density |E| / |V|^2 (the x-axis of paper Fig. 21). */
+    double density() const;
+
+  private:
+    VertexId numVertices_ = 0;
+    std::vector<Edge> edges_;
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_GRAPH_COO_HH

@@ -1,0 +1,26 @@
+#include "csr.hh"
+
+namespace graphr
+{
+
+CsrGraph::CsrGraph(const CooGraph &coo, Direction dir)
+    : numVertices_(coo.numVertices()), dir_(dir)
+{
+    offsets_.assign(static_cast<std::size_t>(numVertices_) + 1, 0);
+    for (const Edge &e : coo.edges()) {
+        const VertexId key = dir == Direction::kOut ? e.src : e.dst;
+        ++offsets_[key + 1];
+    }
+    for (std::size_t v = 0; v < numVertices_; ++v)
+        offsets_[v + 1] += offsets_[v];
+
+    adj_.resize(coo.edges().size());
+    std::vector<EdgeId> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (const Edge &e : coo.edges()) {
+        const VertexId key = dir == Direction::kOut ? e.src : e.dst;
+        const VertexId other = dir == Direction::kOut ? e.dst : e.src;
+        adj_[cursor[key]++] = Adjacency{other, e.weight};
+    }
+}
+
+} // namespace graphr

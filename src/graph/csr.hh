@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Compressed sparse row / column adjacency built from a COO graph.
+ *
+ * The golden (reference) algorithms and the CPU baseline traverse
+ * these; GraphR itself streams the ordered COO list (paper Fig. 4
+ * shows all three formats).
+ */
+
+#ifndef GRAPHR_GRAPH_CSR_HH
+#define GRAPHR_GRAPH_CSR_HH
+
+#include <span>
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/coo.hh"
+
+namespace graphr
+{
+
+/** One adjacency entry: neighbour id plus edge weight. */
+struct Adjacency
+{
+    VertexId neighbor = 0;
+    Value weight = 1.0;
+};
+
+/**
+ * Compressed sparse adjacency. Direction determines whether rows are
+ * sources (CSR, out-edges) or destinations (CSC, in-edges).
+ */
+class CsrGraph
+{
+  public:
+    enum class Direction { kOut, kIn };
+
+    CsrGraph() = default;
+
+    /** Build from a COO graph in O(|V| + |E|). */
+    CsrGraph(const CooGraph &coo, Direction dir);
+
+    VertexId numVertices() const { return numVertices_; }
+    EdgeId numEdges() const { return static_cast<EdgeId>(adj_.size()); }
+    Direction direction() const { return dir_; }
+
+    /** Neighbours of vertex v (out- or in-neighbours per direction). */
+    std::span<const Adjacency>
+    neighbors(VertexId v) const
+    {
+        return std::span<const Adjacency>(adj_.data() + offsets_[v],
+                                          adj_.data() + offsets_[v + 1]);
+    }
+
+    /** Degree of vertex v in this direction. */
+    EdgeId
+    degree(VertexId v) const
+    {
+        return offsets_[v + 1] - offsets_[v];
+    }
+
+    /** Row offset array (|V|+1 entries), exposed for the baselines. */
+    std::span<const EdgeId> offsets() const { return offsets_; }
+
+  private:
+    VertexId numVertices_ = 0;
+    Direction dir_ = Direction::kOut;
+    std::vector<EdgeId> offsets_;
+    std::vector<Adjacency> adj_;
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_GRAPH_CSR_HH

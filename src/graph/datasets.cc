@@ -1,0 +1,87 @@
+#include "datasets.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "graph/generator.hh"
+
+namespace graphr
+{
+
+const std::vector<DatasetInfo> &
+allDatasets()
+{
+    static const std::vector<DatasetInfo> table = {
+        {DatasetId::kWikiVote, "WV", "WikiVote", 7000, 103000, false, 0, 0},
+        {DatasetId::kSlashdot, "SD", "Slashdot", 82000, 948000, false, 0, 0},
+        {DatasetId::kAmazon, "AZ", "Amazon", 262000, 1200000, false, 0, 0},
+        {DatasetId::kWebGoogle, "WG", "WebGoogle", 880000, 5100000, false, 0,
+         0},
+        {DatasetId::kLiveJournal, "LJ", "LiveJournal", 4800000, 69000000,
+         false, 0, 0},
+        {DatasetId::kOrkut, "OK", "Orkut", 3000000, 106000000, false, 0, 0},
+        {DatasetId::kNetflix, "NF", "Netflix", 497800, 99000000, true,
+         480000, 17800},
+    };
+    return table;
+}
+
+const DatasetInfo &
+datasetInfo(DatasetId id)
+{
+    for (const DatasetInfo &info : allDatasets()) {
+        if (info.id == id)
+            return info;
+    }
+    GRAPHR_PANIC("unknown dataset id ", static_cast<int>(id));
+}
+
+CooGraph
+makeDataset(DatasetId id, double scale, std::uint64_t seed)
+{
+    GRAPHR_ASSERT(scale >= 1.0, "scale must be >= 1, got ", scale);
+    const DatasetInfo &info = datasetInfo(id);
+    const double vertex_scale = std::sqrt(scale);
+
+    if (info.bipartite) {
+        const auto users = static_cast<VertexId>(
+            std::max(16.0, info.paperUsers / vertex_scale));
+        const auto items = static_cast<VertexId>(
+            std::max(16.0, info.paperItems / vertex_scale));
+        const auto ratings =
+            static_cast<EdgeId>(info.paperEdges / scale);
+        return makeBipartiteRatings(users, items, ratings, seed);
+    }
+
+    RmatParams params;
+    params.numVertices = static_cast<VertexId>(
+        std::max(64.0, info.paperVertices / vertex_scale));
+    params.numEdges = static_cast<EdgeId>(info.paperEdges / scale);
+    params.maxWeight = 15.0; // weighted for SSSP; ignored by PR/BFS
+    params.seed = seed + static_cast<std::uint64_t>(id) * 1315423911ull;
+    return makeRmat(params);
+}
+
+double
+benchScale(DatasetId id)
+{
+    if (const char *env = std::getenv("GRAPHR_DATASET_SCALE")) {
+        const double s = std::atof(env);
+        if (s >= 1.0)
+            return s;
+        GRAPHR_WARN("ignoring GRAPHR_DATASET_SCALE=", env);
+    }
+    switch (id) {
+      case DatasetId::kLiveJournal:
+      case DatasetId::kOrkut:
+      case DatasetId::kNetflix:
+        return kLargeBenchScale;
+      case DatasetId::kWebGoogle:
+        return kSmallBenchScale * 2;
+      default:
+        return kSmallBenchScale;
+    }
+}
+
+} // namespace graphr

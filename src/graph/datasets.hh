@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Named synthetic stand-ins for the paper's evaluation datasets.
+ *
+ * Table 3 of the paper lists seven datasets. This module regenerates
+ * each as a synthetic graph with matching vertex/edge counts (R-MAT
+ * for the six social/web graphs, bipartite ratings for Netflix). A
+ * scale factor divides both counts so that the two >=69M-edge graphs
+ * stay tractable on a laptop; density (|E|/|V|^2), which drives the
+ * paper's sparsity sensitivity, is approximately preserved by scaling
+ * vertices by sqrt(scale) and edges by scale.
+ */
+
+#ifndef GRAPHR_GRAPH_DATASETS_HH
+#define GRAPHR_GRAPH_DATASETS_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/coo.hh"
+
+namespace graphr
+{
+
+/** Identifier for each paper dataset (Table 3). */
+enum class DatasetId
+{
+    kWikiVote,    ///< WV: 7.0K vertices, 103K edges
+    kSlashdot,    ///< SD: 82K vertices, 948K edges
+    kAmazon,      ///< AZ: 262K vertices, 1.2M edges
+    kWebGoogle,   ///< WG: 0.88M vertices, 5.1M edges
+    kLiveJournal, ///< LJ: 4.8M vertices, 69M edges
+    kOrkut,       ///< OK: 3.0M vertices, 106M edges
+    kNetflix,     ///< NF: 480K users x 17.8K movies, 99M ratings
+};
+
+/** Static description of one dataset. */
+struct DatasetInfo
+{
+    DatasetId id;
+    std::string shortName;  ///< e.g. "WV"
+    std::string fullName;   ///< e.g. "WikiVote"
+    VertexId paperVertices; ///< |V| reported in Table 3
+    EdgeId paperEdges;      ///< |E| reported in Table 3
+    bool bipartite;         ///< true only for Netflix
+    VertexId paperUsers;    ///< Netflix only
+    VertexId paperItems;    ///< Netflix only
+};
+
+/** All seven datasets in Table 3 order. */
+const std::vector<DatasetInfo> &allDatasets();
+
+/** Lookup by id. */
+const DatasetInfo &datasetInfo(DatasetId id);
+
+/**
+ * Generate the synthetic stand-in for a dataset.
+ *
+ * @param id which dataset
+ * @param scale divide |E| by this factor (and |V| by sqrt(scale));
+ *        1 reproduces the paper's size exactly.
+ * @param seed generator seed
+ */
+CooGraph makeDataset(DatasetId id, double scale = 1.0,
+                     std::uint64_t seed = 42);
+
+/**
+ * Scale used by the bench binaries. Reads the GRAPHR_DATASET_SCALE
+ * environment variable (default kDefaultBenchScale) so the full-size
+ * graphs can be regenerated when more time/memory is available.
+ */
+double benchScale(DatasetId id);
+
+/** Default bench scale for the large (>=69M edge) datasets. */
+inline constexpr double kLargeBenchScale = 32.0;
+
+/** Default bench scale for the small/medium datasets. */
+inline constexpr double kSmallBenchScale = 4.0;
+
+} // namespace graphr
+
+#endif // GRAPHR_GRAPH_DATASETS_HH

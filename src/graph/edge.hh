@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Edge record used by the coordinate-list (COO) representation.
+ */
+
+#ifndef GRAPHR_GRAPH_EDGE_HH
+#define GRAPHR_GRAPH_EDGE_HH
+
+#include "common/types.hh"
+
+namespace graphr
+{
+
+/**
+ * One directed, weighted edge. GraphR assumes a COO edge list as its
+ * on-disk and memory-ReRAM representation (paper section 2.4); for
+ * unweighted algorithms the weight is fixed at 1.
+ */
+struct Edge
+{
+    VertexId src = 0;
+    VertexId dst = 0;
+    Value weight = 1.0;
+
+    bool
+    operator==(const Edge &other) const
+    {
+        return src == other.src && dst == other.dst &&
+               weight == other.weight;
+    }
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_GRAPH_EDGE_HH

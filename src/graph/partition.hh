@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Grid partitioning of the adjacency matrix into blocks and subgraph
+ * tiles (paper section 3.4, Fig. 12).
+ *
+ * Terminology follows the paper:
+ *  - C: crossbar dimension (a crossbar is C x C),
+ *  - N: crossbars per graph engine,
+ *  - G: graph engines per GraphR node,
+ *  - B: block size (vertices per block; a block is B x B and is the
+ *    disk-load unit of the out-of-core setting),
+ *  - a *subgraph* (here: tile) is the unit all GEs process together:
+ *    C rows by C*N*G columns.
+ *
+ * Ordering (all column-major, the variant GraphR adopts in section
+ * 3.3 because it minimises RegO):
+ *  - blocks:    B(0,0) -> B(1,0) -> ... -> B(0,1) -> B(1,1) -> ...
+ *  - tiles within a block: tile-row varies fastest (Eq. 6),
+ *  - cells within a tile: column-major (Eq. 8).
+ *
+ * Note: the paper's Eq. 2 prints "IB = Bj + (V/B) x Bj"; taken with
+ * the stated column-major block order B(0,0)->B(1,0)->B(0,1)->B(1,1)
+ * this is a typo for BI = Bi + (V/B) x Bj, which is what we implement.
+ * All indices here are 0-based (the paper mixes 0- and 1-based).
+ */
+
+#ifndef GRAPHR_GRAPH_PARTITION_HH
+#define GRAPHR_GRAPH_PARTITION_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace graphr
+{
+
+/** Architectural tiling parameters (paper Fig. 9 legend). */
+struct TilingParams
+{
+    std::uint32_t crossbarDim = 8;     ///< C
+    std::uint32_t crossbarsPerGe = 32; ///< N
+    std::uint32_t numGe = 64;          ///< G
+    /**
+     * Block size in vertices (B). 0 means "single block": the whole
+     * (padded) graph fits in memory ReRAM, the common case in the
+     * paper's evaluation ("in all experiments, graph data could fit
+     * in memory").
+     */
+    std::uint32_t blockSize = 0;
+};
+
+/** Coordinates of one tile in the global grid. */
+struct TileCoord
+{
+    std::uint64_t blockRow = 0; ///< Bi
+    std::uint64_t blockCol = 0; ///< Bj
+    std::uint64_t tileRow = 0;  ///< SIi' within the block
+    std::uint64_t tileCol = 0;  ///< SIj' within the block
+
+    bool operator==(const TileCoord &other) const = default;
+};
+
+/**
+ * Pure index arithmetic for the block/tile/cell grid over a padded
+ * |V| x |V| adjacency matrix. This class owns no edge data.
+ */
+class GridPartition
+{
+  public:
+    /**
+     * @param num_vertices real vertex count of the graph
+     * @param params tiling parameters; blockSize 0 selects a single
+     *        block covering the padded vertex range
+     */
+    GridPartition(VertexId num_vertices, const TilingParams &params);
+
+    /** C in the paper. */
+    std::uint32_t crossbarDim() const { return params_.crossbarDim; }
+    /** N in the paper. */
+    std::uint32_t crossbarsPerGe() const { return params_.crossbarsPerGe; }
+    /** G in the paper. */
+    std::uint32_t numGe() const { return params_.numGe; }
+    /** Tile width: C * N * G columns. */
+    std::uint64_t tileWidth() const { return tileWidth_; }
+    /** Tile capacity in cells: C * tileWidth. */
+    std::uint64_t tileCapacity() const { return tileCapacity_; }
+    /** Effective block size B after padding. */
+    std::uint64_t blockSize() const { return blockSize_; }
+    /** Vertex count padded up so B | V and tiles divide B exactly. */
+    std::uint64_t paddedVertices() const { return paddedVertices_; }
+    /** Real (unpadded) vertex count. */
+    VertexId numVertices() const { return numVertices_; }
+
+    /** Blocks per dimension: paddedVertices / B. */
+    std::uint64_t blocksPerDim() const { return blocksPerDim_; }
+    /** Tile rows per block: B / C. */
+    std::uint64_t tileRowsPerBlock() const { return tileRowsPerBlock_; }
+    /** Tile columns per block: B / tileWidth. */
+    std::uint64_t tileColsPerBlock() const { return tileColsPerBlock_; }
+    /** Tiles per block. */
+    std::uint64_t tilesPerBlock() const
+    {
+        return tileRowsPerBlock_ * tileColsPerBlock_;
+    }
+    /** Total blocks. */
+    std::uint64_t numBlocks() const
+    {
+        return blocksPerDim_ * blocksPerDim_;
+    }
+    /** Total tiles in the global grid. */
+    std::uint64_t numTiles() const
+    {
+        return numBlocks() * tilesPerBlock();
+    }
+
+    /** Column-major block index BI (Eq. 2, typo corrected). */
+    std::uint64_t
+    blockIndex(std::uint64_t block_row, std::uint64_t block_col) const
+    {
+        return block_row + blocksPerDim_ * block_col;
+    }
+
+    /** Global tile index SI of the tile containing cell (i, j). */
+    std::uint64_t tileIndex(VertexId i, VertexId j) const;
+
+    /** Tile coordinates for a global tile index (inverse of Eq. 6). */
+    TileCoord tileCoord(std::uint64_t tile_index) const;
+
+    /** First (row, column) covered by a tile. */
+    void tileOrigin(const TileCoord &coord, std::uint64_t &row0,
+                    std::uint64_t &col0) const;
+
+    /**
+     * Global order ID I(i, j) of a cell (Eq. 9): counts every cell —
+     * zero or not — that precedes (i, j) in streaming-apply order.
+     */
+    std::uint64_t globalOrderId(VertexId i, VertexId j) const;
+
+    /** Inverse of globalOrderId, for property tests. */
+    void cellOfOrderId(std::uint64_t order_id, std::uint64_t &i,
+                       std::uint64_t &j) const;
+
+  private:
+    VertexId numVertices_;
+    TilingParams params_;
+    std::uint64_t tileWidth_;
+    std::uint64_t tileCapacity_;
+    std::uint64_t blockSize_;
+    std::uint64_t paddedVertices_;
+    std::uint64_t blocksPerDim_;
+    std::uint64_t tileRowsPerBlock_;
+    std::uint64_t tileColsPerBlock_;
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_GRAPH_PARTITION_HH

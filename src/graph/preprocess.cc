@@ -1,0 +1,74 @@
+#include "preprocess.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace graphr
+{
+
+OrderedEdgeList::OrderedEdgeList(const CooGraph &graph,
+                                 const GridPartition &partition)
+    : partition_(partition)
+{
+    GRAPHR_ASSERT(graph.numVertices() == partition.numVertices(),
+                  "partition built for |V|=", partition.numVertices(),
+                  " but graph has |V|=", graph.numVertices());
+
+    const std::span<const Edge> input = graph.edges();
+    std::vector<std::uint64_t> keys(input.size());
+    std::vector<std::uint32_t> perm(input.size());
+    for (std::size_t e = 0; e < input.size(); ++e) {
+        keys[e] = partition_.globalOrderId(input[e].src, input[e].dst);
+        perm[e] = static_cast<std::uint32_t>(e);
+    }
+    std::sort(perm.begin(), perm.end(),
+              [&keys](std::uint32_t a, std::uint32_t b) {
+                  return keys[a] < keys[b];
+              });
+
+    edges_.resize(input.size());
+    for (std::size_t e = 0; e < input.size(); ++e)
+        edges_[e] = input[perm[e]];
+
+    // Build the non-empty tile directory in a single pass.
+    const std::uint64_t capacity = partition_.tileCapacity();
+    std::uint64_t prev_tile = ~std::uint64_t{0};
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+        const std::uint64_t tile = keys[perm[e]] / capacity;
+        if (tile != prev_tile) {
+            tiles_.push_back(TileSpan{tile, e, 1});
+            prev_tile = tile;
+        } else {
+            ++tiles_.back().numEdges;
+        }
+    }
+}
+
+double
+OrderedEdgeList::occupancy() const
+{
+    if (tiles_.empty())
+        return 0.0;
+    const double nnz = static_cast<double>(edges_.size());
+    const double cells = static_cast<double>(tiles_.size()) *
+                         static_cast<double>(partition_.tileCapacity());
+    return nnz / cells;
+}
+
+std::vector<TileSpan>
+OrderedEdgeList::tilesOfBlock(std::uint64_t block_index) const
+{
+    const std::uint64_t per_block = partition_.tilesPerBlock();
+    const std::uint64_t first = block_index * per_block;
+    const std::uint64_t last = first + per_block;
+    std::vector<TileSpan> out;
+    for (const TileSpan &span : tiles_) {
+        if (span.tileIndex >= first && span.tileIndex < last)
+            out.push_back(span);
+    }
+    return out;
+}
+
+} // namespace graphr

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Edge-list preprocessing for the streaming-apply execution model
+ * (paper section 3.4).
+ *
+ * Preprocessing sorts the COO edge list by the global order ID so
+ * that all edges of one tile (subgraph) are contiguous and tiles
+ * appear in streaming-apply (column-major) order. Loading a block or
+ * tile then requires only sequential I/O. The paper performs this
+ * once, offline, in software; so do we.
+ */
+
+#ifndef GRAPHR_GRAPH_PREPROCESS_HH
+#define GRAPHR_GRAPH_PREPROCESS_HH
+
+#include <span>
+#include <vector>
+
+#include "graph/coo.hh"
+#include "graph/partition.hh"
+
+namespace graphr
+{
+
+/** One non-empty tile in the ordered edge list. */
+struct TileSpan
+{
+    std::uint64_t tileIndex = 0; ///< global tile index SI
+    std::uint64_t firstEdge = 0; ///< offset into the ordered edge list
+    std::uint64_t numEdges = 0;  ///< non-zeros in this tile
+};
+
+/**
+ * The ordered edge list plus the tile directory built from it. This
+ * is the representation GraphR's controller streams out of memory
+ * ReRAM; downstream consumers iterate non-empty tiles in order.
+ */
+class OrderedEdgeList
+{
+  public:
+    /**
+     * Preprocess a graph: compute I(i, j) for every edge, sort, and
+     * build the non-empty tile directory. O(E log E).
+     */
+    OrderedEdgeList(const CooGraph &graph, const GridPartition &partition);
+
+    const GridPartition &partition() const { return partition_; }
+    std::span<const Edge> edges() const { return edges_; }
+    std::span<const TileSpan> tiles() const { return tiles_; }
+
+    /** Number of non-empty tiles ("subgraphs GEs actually process"). */
+    std::uint64_t numNonEmptyTiles() const { return tiles_.size(); }
+
+    /** Edges of one tile. */
+    std::span<const Edge>
+    tileEdges(const TileSpan &span) const
+    {
+        return std::span<const Edge>(edges_.data() + span.firstEdge,
+                                     span.numEdges);
+    }
+
+    /**
+     * Occupancy: average non-zeros per non-empty tile divided by the
+     * tile capacity; this is the fraction of crossbar cells doing
+     * useful work (the "waste due to sparsity" of section 1).
+     */
+    double occupancy() const;
+
+    /** Non-empty tiles restricted to one block, in order. */
+    std::vector<TileSpan> tilesOfBlock(std::uint64_t block_index) const;
+
+  private:
+    GridPartition partition_;
+    std::vector<Edge> edges_;
+    std::vector<TileSpan> tiles_;
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_GRAPH_PREPROCESS_HH

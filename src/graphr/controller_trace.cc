@@ -1,0 +1,131 @@
+#include "controller_trace.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace graphr
+{
+
+std::string
+ControllerOp::toString() const
+{
+    std::ostringstream oss;
+    switch (kind) {
+      case Kind::kLoadBlock:
+        oss << "LOAD_BLOCK   block=" << tileIndex;
+        break;
+      case Kind::kLoadSubgraph:
+        oss << "LOAD_SUBGRAPH tile=" << tileIndex << " edges="
+            << payload;
+        break;
+      case Kind::kProcess:
+        oss << "PROCESS      tile=" << tileIndex;
+        break;
+      case Kind::kReduce:
+        oss << "REDUCE       tile=" << tileIndex << " values="
+            << payload;
+        break;
+      case Kind::kApply:
+        oss << "APPLY        iter=" << iteration;
+        break;
+      case Kind::kCheckConv:
+        oss << "CHECK_CONV   iter=" << iteration;
+        break;
+    }
+    oss << " it=" << iteration;
+    return oss.str();
+}
+
+ControllerTrace::ControllerTrace(const OrderedEdgeList &ordered,
+                                 std::uint64_t iterations)
+{
+    const GridPartition &part = ordered.partition();
+    for (std::uint64_t it = 0; it < iterations; ++it) {
+        std::uint64_t current_block = ~std::uint64_t{0};
+        for (const TileSpan &span : ordered.tiles()) {
+            const std::uint64_t block =
+                span.tileIndex / part.tilesPerBlock();
+            if (block != current_block) {
+                ops_.push_back({ControllerOp::Kind::kLoadBlock, block,
+                                it, 0});
+                current_block = block;
+            }
+            ops_.push_back({ControllerOp::Kind::kLoadSubgraph,
+                            span.tileIndex, it, span.numEdges});
+            ops_.push_back(
+                {ControllerOp::Kind::kProcess, span.tileIndex, it, 0});
+            ops_.push_back({ControllerOp::Kind::kReduce, span.tileIndex,
+                            it, span.numEdges});
+        }
+        ops_.push_back({ControllerOp::Kind::kApply, 0, it, 0});
+        ops_.push_back({ControllerOp::Kind::kCheckConv, 0, it, 0});
+    }
+}
+
+std::uint64_t
+ControllerTrace::count(ControllerOp::Kind kind) const
+{
+    std::uint64_t n = 0;
+    for (const ControllerOp &op : ops_)
+        n += op.kind == kind ? 1 : 0;
+    return n;
+}
+
+void
+ControllerTrace::print(std::ostream &os) const
+{
+    for (const ControllerOp &op : ops_)
+        os << op.toString() << "\n";
+}
+
+bool
+ControllerTrace::wellFormed() const
+{
+    bool block_loaded = false;
+    std::uint64_t expect_process_for = ~std::uint64_t{0};
+    std::uint64_t expect_reduce_for = ~std::uint64_t{0};
+    std::uint64_t last_iter = 0;
+    bool conv_seen_for_iter = false;
+
+    for (const ControllerOp &op : ops_) {
+        if (op.iteration != last_iter) {
+            if (!conv_seen_for_iter)
+                return false; // iteration ended without CHECK_CONV
+            last_iter = op.iteration;
+            conv_seen_for_iter = false;
+            block_loaded = false;
+        }
+        switch (op.kind) {
+          case ControllerOp::Kind::kLoadBlock:
+            block_loaded = true;
+            break;
+          case ControllerOp::Kind::kLoadSubgraph:
+            if (!block_loaded)
+                return false;
+            if (expect_process_for != ~std::uint64_t{0})
+                return false; // previous tile not processed
+            expect_process_for = op.tileIndex;
+            break;
+          case ControllerOp::Kind::kProcess:
+            if (op.tileIndex != expect_process_for)
+                return false;
+            expect_process_for = ~std::uint64_t{0};
+            expect_reduce_for = op.tileIndex;
+            break;
+          case ControllerOp::Kind::kReduce:
+            if (op.tileIndex != expect_reduce_for)
+                return false;
+            expect_reduce_for = ~std::uint64_t{0};
+            break;
+          case ControllerOp::Kind::kApply:
+            break;
+          case ControllerOp::Kind::kCheckConv:
+            conv_seen_for_iter = true;
+            break;
+        }
+    }
+    return conv_seen_for_iter || ops_.empty();
+}
+
+} // namespace graphr

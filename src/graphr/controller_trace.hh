@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Controller operation trace (paper Fig. 10).
+ *
+ * The GraphR controller is a simple sequencer: load the next
+ * subgraph's edges into GEs, fire the processEdge evaluation, reduce
+ * through the sALU, and periodically check convergence. This module
+ * records that instruction stream for a (small) run so users can
+ * inspect and unit-test the exact schedule the cost model charges —
+ * the simulator-facing equivalent of the paper's controller
+ * pseudo-code.
+ */
+
+#ifndef GRAPHR_GRAPHR_CONTROLLER_TRACE_HH
+#define GRAPHR_GRAPHR_CONTROLLER_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "graph/preprocess.hh"
+#include "graphr/config.hh"
+
+namespace graphr
+{
+
+/** One controller operation (Fig. 10 line). */
+struct ControllerOp
+{
+    enum class Kind
+    {
+        kLoadBlock,    ///< sequential disk -> memory ReRAM
+        kLoadSubgraph, ///< memory ReRAM -> GE crossbars (program)
+        kProcess,      ///< evaluate processEdge in the GE array
+        kReduce,       ///< sALU reduce into RegO
+        kApply,        ///< commit RegO to vertex properties
+        kCheckConv,    ///< convergence check at iteration end
+    };
+
+    Kind kind;
+    std::uint64_t tileIndex = 0; ///< subgraph id (load/process/reduce)
+    std::uint64_t iteration = 0;
+    std::uint64_t payload = 0; ///< edges loaded / values reduced
+
+    std::string toString() const;
+};
+
+/**
+ * Generates the controller instruction stream for a MAC-pattern run
+ * over a preprocessed graph (one sweep per iteration, column-major
+ * tile order, as the cost model charges it).
+ */
+class ControllerTrace
+{
+  public:
+    /**
+     * Build the trace for @p iterations sweeps of the ordered edge
+     * list. Intended for small graphs (the trace is O(tiles *
+     * iterations)).
+     */
+    ControllerTrace(const OrderedEdgeList &ordered,
+                    std::uint64_t iterations);
+
+    const std::vector<ControllerOp> &ops() const { return ops_; }
+
+    /** Number of ops of one kind. */
+    std::uint64_t count(ControllerOp::Kind kind) const;
+
+    /** Dump one op per line. */
+    void print(std::ostream &os) const;
+
+    /**
+     * Validate the stream against the Fig. 10 grammar: every
+     * kLoadSubgraph is followed by kProcess then kReduce for the
+     * same tile; each iteration ends with kCheckConv; blocks load
+     * before their subgraphs. Returns true when well-formed.
+     */
+    bool wellFormed() const;
+
+  private:
+    std::vector<ControllerOp> ops_;
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_GRAPHR_CONTROLLER_TRACE_HH

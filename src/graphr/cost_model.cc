@@ -1,0 +1,130 @@
+#include "cost_model.hh"
+
+namespace graphr
+{
+
+CostModel::CostModel(const GraphRConfig &config) : config_(config)
+{
+    totalAdcs_ = static_cast<double>(config_.device.adcsPerGe) *
+                 config_.tiling.numGe;
+    totalCrossbars_ = static_cast<double>(config_.tiling.crossbarsPerGe) *
+                      config_.tiling.numGe;
+}
+
+double
+CostModel::programOverlapDepth(std::uint32_t crossbars_used) const
+{
+    if (crossbars_used == 0)
+        return 1.0;
+    return std::max(1.0, totalCrossbars_ /
+                             static_cast<double>(crossbars_used));
+}
+
+double
+CostModel::adcTimeNs(std::uint64_t samples) const
+{
+    // adcSampleRateGsps is samples per nanosecond per ADC.
+    return static_cast<double>(samples) /
+           (totalAdcs_ * config_.device.adcSampleRateGsps);
+}
+
+TileCost
+CostModel::macTile(const TileMeta &meta, EnergyEvents &events,
+                   std::uint32_t passes) const
+{
+    const DeviceParams &dev = config_.device;
+    const std::uint32_t dim = config_.tiling.crossbarDim;
+
+    TileCost cost;
+    cost.programNs = meta.maxRowsProgrammed * dev.writeLatencyNs;
+
+    // One array read per input slice per occupied crossbar (all
+    // crossbars evaluate in parallel, so latency is per-slice).
+    const std::uint64_t read_ops =
+        static_cast<std::uint64_t>(meta.crossbarsUsed) * dev.inputSlices *
+        passes;
+    // One conversion per occupied logical bitline per input slice
+    // (paper section 3.2: a 64 ns GE cycle with a shared 1 GSps ADC
+    // covers a subgraph evaluation; shift-and-add recombines weight
+    // slices after conversion).
+    const std::uint64_t samples =
+        static_cast<std::uint64_t>(meta.crossbarsUsed) * dim *
+        dev.inputSlices * passes;
+    // Throughput model: a tile occupies only `crossbarsUsed` of the
+    // N*G crossbars for its GE cycle, so sparse tiles evaluate
+    // concurrently in disjoint crossbar banks (paper Fig. 11: each
+    // GE scans its own subgraphs). The node-level per-tile cost is
+    // the largest of the crossbar-occupancy, ADC and sALU terms.
+    // The per-GE sALUs keep pace with their crossbars, so the sALU
+    // latency is folded into the GE cycle.
+    const double crossbar_ns =
+        static_cast<double>(passes) * dev.geCycleNs *
+        static_cast<double>(meta.crossbarsUsed) / totalCrossbars_;
+    // Controller dispatch is a fixed serial cost per tile; it is what
+    // makes very sparse graphs (many near-empty tiles per non-zero)
+    // lose part of the advantage (paper Fig. 21).
+    cost.computeNs =
+        std::max(crossbar_ns, adcTimeNs(samples)) + dev.tileDispatchNs;
+
+    cost.streamNs = static_cast<double>(meta.nnz * config_.bytesPerEdge) /
+                    dev.memBandwidthGBs; // GB/s == bytes per ns
+    cost.overlappedProgramNs =
+        cost.programNs / programOverlapDepth(meta.crossbarsUsed);
+
+    events.arrayWrites += static_cast<std::uint64_t>(meta.crossbarsUsed) *
+                          meta.maxRowsProgrammed;
+    events.arrayReads += read_ops;
+    events.adcSamples += samples;
+    events.sampleHolds += samples;
+    events.shiftAdds += static_cast<std::uint64_t>(meta.nnzColumns) *
+                        passes;
+    events.saluOps += static_cast<std::uint64_t>(meta.nnzColumns) * passes;
+    // RegI: C input reads; RegO: one read-modify-write per updated col.
+    events.regAccesses +=
+        (dim + 2ull * meta.nnzColumns) * passes;
+    events.memBytes += meta.nnz * config_.bytesPerEdge;
+    return cost;
+}
+
+TileCost
+CostModel::addOpTile(const TileMeta &meta, std::uint32_t active_rows,
+                     EnergyEvents &events) const
+{
+    const DeviceParams &dev = config_.device;
+    const std::uint32_t dim = config_.tiling.crossbarDim;
+
+    TileCost cost;
+    cost.programNs = meta.maxRowsProgrammed * dev.writeLatencyNs;
+
+    // Each active row is one serial step: a one-hot array read plus
+    // conversions of the row's logical bitlines and a comparator
+    // pass. Successive row activations are wordline-pipelined.
+    const std::uint64_t samples_per_row =
+        static_cast<std::uint64_t>(meta.crossbarsUsed) * dim;
+    const double row_ns =
+        dev.readLatencyNs / dev.addOpRowPipelineDepth +
+        adcTimeNs(samples_per_row) + dev.saluLatencyNs;
+    cost.computeNs = active_rows * row_ns + dev.tileDispatchNs;
+
+    cost.streamNs = static_cast<double>(meta.nnz * config_.bytesPerEdge) /
+                    dev.memBandwidthGBs;
+    cost.overlappedProgramNs =
+        cost.programNs / programOverlapDepth(meta.crossbarsUsed);
+
+    events.arrayWrites += static_cast<std::uint64_t>(meta.crossbarsUsed) *
+                          meta.maxRowsProgrammed;
+    events.arrayReads += static_cast<std::uint64_t>(meta.crossbarsUsed) *
+                         active_rows;
+    events.adcSamples += samples_per_row * active_rows;
+    events.sampleHolds += samples_per_row * active_rows;
+    events.shiftAdds += samples_per_row * active_rows;
+    // Comparator (min) per destination column per active row.
+    events.saluOps += static_cast<std::uint64_t>(active_rows) * dim *
+                      meta.crossbarsUsed;
+    events.regAccesses += active_rows +
+                          2ull * active_rows * dim * meta.crossbarsUsed;
+    events.memBytes += meta.nnz * config_.bytesPerEdge;
+    return cost;
+}
+
+} // namespace graphr

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * GraphRNode: the top-level simulated accelerator.
+ *
+ * One node owns memory ReRAM (holding the preprocessed COO edge
+ * list), G graph engines of N crossbars each, the controller and the
+ * streaming-apply scheduler (paper Fig. 8-11). The public entry
+ * points run one algorithm end to end and return a SimReport with
+ * simulated time, energy and workload statistics.
+ *
+ * Two execution modes (GraphRConfig::functional):
+ *  - functional: edges are programmed into the modelled crossbars and
+ *    results are computed through the analog datapath (bit-sliced
+ *    fixed point). Exact but slow; used by tests and examples.
+ *  - timing-only: semantics come from the golden algorithms; the node
+ *    walks the tile stream and charges the cost model. Used by the
+ *    benches on large graphs.
+ *
+ * Both modes charge identical event counts per processed tile (a
+ * property test asserts this).
+ */
+
+#ifndef GRAPHR_GRAPHR_NODE_HH
+#define GRAPHR_GRAPHR_NODE_HH
+
+#include <optional>
+#include <vector>
+
+#include "algorithms/collaborative_filtering.hh"
+#include "algorithms/pagerank.hh"
+#include "algorithms/traversal.hh"
+#include "graph/coo.hh"
+#include "graphr/config.hh"
+#include "graphr/cost_model.hh"
+#include "graphr/sim_report.hh"
+
+namespace graphr
+{
+
+/** A single GraphR accelerator node in the out-of-core setting. */
+class GraphRNode
+{
+  public:
+    explicit GraphRNode(GraphRConfig config = GraphRConfig{});
+
+    const GraphRConfig &config() const { return config_; }
+
+    /**
+     * PageRank (parallel MAC; paper Fig. 13/16b).
+     * @param ranks_out optional: final rank vector
+     */
+    SimReport runPageRank(const CooGraph &graph,
+                          const PageRankParams &params,
+                          std::vector<Value> *ranks_out = nullptr);
+
+    /** One SpMV pass y = A^T x (parallel MAC; Table 2 row 1). */
+    SimReport runSpmv(const CooGraph &graph, const std::vector<Value> &x,
+                      std::vector<Value> *y_out = nullptr);
+
+    /** BFS levels from a source (parallel add-op; Table 2 row 3). */
+    SimReport runBfs(const CooGraph &graph, VertexId source,
+                     std::vector<Value> *dist_out = nullptr);
+
+    /** SSSP from a source (parallel add-op; paper Fig. 14/16c). */
+    SimReport runSssp(const CooGraph &graph, VertexId source,
+                      std::vector<Value> *dist_out = nullptr);
+
+    /**
+     * Weakly connected components by min-label propagation over the
+     * symmetrised graph (parallel add-op with zero edge weight; the
+     * natural third add-op vertex program alongside BFS/SSSP).
+     */
+    SimReport runWcc(const CooGraph &graph,
+                     std::vector<VertexId> *labels_out = nullptr);
+
+    /**
+     * Collaborative filtering training (parallel MAC over the rating
+     * matrix; section 5.1). Semantics always come from the golden
+     * SGD; the node models the per-epoch tile schedule with
+     * 2 * featureLength MAC passes per tile (one per feature per
+     * direction).
+     */
+    SimReport runCf(const CooGraph &ratings, const CfParams &params);
+
+  private:
+    struct Prepared; // preprocessing products (defined in .cc)
+
+    /** Initial state of an add-op (min-relaxation) execution. */
+    struct AddOpSpec
+    {
+        std::vector<Value> initLabels;
+        std::vector<bool> initActive;
+        WeightMode mode = WeightMode::kOriginal;
+    };
+
+    /** Run preprocessing + metadata extraction for a graph. */
+    Prepared prepare(const CooGraph &graph) const;
+
+    /** Shared MAC-pattern driver (PageRank/SpMV/CF schedules). */
+    SimReport runMacSweeps(const Prepared &prep, std::uint64_t sweeps,
+                           std::uint32_t passes_per_tile,
+                           const char *name);
+
+    /** Shared add-op driver (BFS/SSSP/WCC). */
+    SimReport runAddOpRounds(const Prepared &prep, const CooGraph &graph,
+                             const AddOpSpec &spec, const char *name,
+                             std::vector<Value> *dist_out);
+
+    GraphRConfig config_;
+    CostModel costModel_;
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_GRAPHR_NODE_HH

@@ -1,0 +1,87 @@
+#include "area.hh"
+
+#include <iomanip>
+
+namespace graphr
+{
+
+double
+AreaBreakdown::total() const
+{
+    return crossbars + adcs + sampleHolds + drivers + shiftAdds + salus +
+           registers + controller;
+}
+
+void
+AreaBreakdown::print(std::ostream &os) const
+{
+    const auto line = [&os](const char *name, double mm2, double total) {
+        os << "  " << std::left << std::setw(14) << name << std::fixed
+           << std::setprecision(4) << mm2 << " mm^2  ("
+           << std::setprecision(1) << (total > 0 ? mm2 / total * 100 : 0)
+           << "%)\n";
+    };
+    const double t = total();
+    os << "node area breakdown:\n";
+    line("crossbars", crossbars, t);
+    line("ADCs", adcs, t);
+    line("sample&hold", sampleHolds, t);
+    line("drivers", drivers, t);
+    line("shift&add", shiftAdds, t);
+    line("sALUs", salus, t);
+    line("registers", registers, t);
+    line("controller", controller, t);
+    os << "  total         " << std::setprecision(4) << t << " mm^2\n";
+}
+
+AreaBreakdown
+nodeArea(const TilingParams &tiling, const DeviceParams &device,
+         const AreaParams &params)
+{
+    AreaBreakdown area;
+    constexpr double um2_to_mm2 = 1e-6;
+
+    const double total_crossbars =
+        static_cast<double>(tiling.crossbarsPerGe) * tiling.numGe;
+    // Physical array: C wordlines x (C * slices) bitlines of 4F^2
+    // cells, plus a one-third periphery overhead (decoders, muxes).
+    const double f_um = params.featureNm * 1e-3;
+    const double cell_um2 = 4.0 * f_um * f_um;
+    const double cells_per_cb = static_cast<double>(tiling.crossbarDim) *
+                                tiling.crossbarDim *
+                                device.slicesPerValue();
+    area.crossbars = total_crossbars * cells_per_cb * cell_um2 * 4.0 /
+                     3.0 * um2_to_mm2;
+
+    area.adcs = static_cast<double>(device.adcsPerGe) * tiling.numGe *
+                params.adcUm2 * um2_to_mm2;
+
+    const double bitlines_per_cb =
+        static_cast<double>(tiling.crossbarDim) *
+        device.slicesPerValue();
+    area.sampleHolds = total_crossbars * bitlines_per_cb *
+                       params.sampleHoldUm2 * um2_to_mm2;
+    area.drivers = total_crossbars * tiling.crossbarDim *
+                   params.driverUm2 * um2_to_mm2;
+    area.shiftAdds = total_crossbars * params.shiftAddUm2 * um2_to_mm2;
+
+    // One sALU lane per crossbar column group.
+    area.salus = total_crossbars * params.saluLaneUm2 * um2_to_mm2;
+
+    // RegI: C entries per GE; RegO: tile-width entries (column-major
+    // choice, section 3.3), both 16-bit.
+    const double tile_width = static_cast<double>(tiling.crossbarDim) *
+                              tiling.crossbarsPerGe * tiling.numGe;
+    const double reg_bits = (static_cast<double>(tiling.crossbarDim) *
+                                 tiling.numGe +
+                             tile_width) *
+                            device.valueBits;
+    area.registers =
+        reg_bits / 8.0 / 1024.0 * params.regUm2PerKb * um2_to_mm2;
+
+    area.controller = static_cast<double>(tiling.numGe) *
+                      params.controllerUm2PerGe * um2_to_mm2;
+    return area;
+}
+
+} // namespace graphr

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * NVSim-style area model of a GraphR node.
+ *
+ * The paper argues ReRAM crossbars give "massive parallel analog
+ * operations with low hardware and energy cost"; this model makes
+ * the hardware-cost side quantitative, in the style of the
+ * NVSim/ISAAC area accounting it cites: per-component footprints
+ * (crossbar cells at 4F^2, ADCs, S/H, drivers, shift-and-add, sALU,
+ * registers, controller) composed over the node configuration. Used
+ * by the crossbar-size and GE-count ablations to expose the area
+ * side of each design point.
+ */
+
+#ifndef GRAPHR_RRAM_AREA_HH
+#define GRAPHR_RRAM_AREA_HH
+
+#include <ostream>
+
+#include "graph/partition.hh"
+#include "rram/device_params.hh"
+
+namespace graphr
+{
+
+/** Component area parameters (um^2 unless noted). */
+struct AreaParams
+{
+    /** Technology feature size in nm (cell area scales as 4F^2). */
+    double featureNm = 32.0;
+    /** ADC area (8-bit ~1 GSps SAR class, Murmann survey). */
+    double adcUm2 = 3000.0;
+    /** Sample-and-hold per bitline. */
+    double sampleHoldUm2 = 10.0;
+    /** Driver (DAC + wordline buffer) per wordline. */
+    double driverUm2 = 50.0;
+    /** Shift-and-add unit per crossbar. */
+    double shiftAddUm2 = 250.0;
+    /** sALU lane per bitline group. */
+    double saluLaneUm2 = 400.0;
+    /** Register file per KB (CACTI-class SRAM). */
+    double regUm2PerKb = 1500.0;
+    /** Controller + sequencing overhead per GE. */
+    double controllerUm2PerGe = 20000.0;
+};
+
+/** Area breakdown of one GraphR node in mm^2. */
+struct AreaBreakdown
+{
+    double crossbars = 0.0;
+    double adcs = 0.0;
+    double sampleHolds = 0.0;
+    double drivers = 0.0;
+    double shiftAdds = 0.0;
+    double salus = 0.0;
+    double registers = 0.0;
+    double controller = 0.0;
+
+    double total() const;
+    void print(std::ostream &os) const;
+};
+
+/**
+ * Compute the node's area from its tiling and device configuration.
+ *
+ * @param tiling C/N/G configuration
+ * @param device cell resolution (slices multiply the physical
+ *        bitlines) and ADC provisioning
+ * @param params technology constants
+ */
+AreaBreakdown nodeArea(const TilingParams &tiling,
+                       const DeviceParams &device,
+                       const AreaParams &params = AreaParams{});
+
+} // namespace graphr
+
+#endif // GRAPHR_RRAM_AREA_HH

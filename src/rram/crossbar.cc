@@ -1,0 +1,116 @@
+#include "crossbar.hh"
+
+#include "common/logging.hh"
+
+namespace graphr
+{
+
+Crossbar::Crossbar(std::uint32_t dim, const DeviceParams &params)
+    : dim_(dim), slices_(params.slicesPerValue()),
+      cellLevels_(params.cellLevels())
+{
+    GRAPHR_ASSERT(dim_ > 0, "crossbar dimension must be > 0");
+    cells_.resize(static_cast<std::size_t>(dim_) * dim_ * slices_);
+}
+
+void
+Crossbar::clear()
+{
+    for (Cell &cell : cells_)
+        cell.program(0);
+}
+
+void
+Crossbar::programValue(std::uint32_t row, std::uint32_t col,
+                       FixedPoint value)
+{
+    GRAPHR_ASSERT(row < dim_ && col < dim_, "program (", row, ",", col,
+                  ") outside ", dim_, "x", dim_, " crossbar");
+    for (int s = 0; s < slices_; ++s)
+        cellAt(row, col, s).program(value.slice(s));
+}
+
+FixedPoint::Raw
+Crossbar::storedRaw(std::uint32_t row, std::uint32_t col) const
+{
+    GRAPHR_ASSERT(row < dim_ && col < dim_, "read outside crossbar");
+    FixedPoint::Raw raw = 0;
+    for (int s = slices_ - 1; s >= 0; --s) {
+        raw = static_cast<FixedPoint::Raw>(
+            (raw << kCellBits) | cellAt(row, col, s).level());
+    }
+    return raw;
+}
+
+std::uint8_t
+Crossbar::readLevel(const Cell &cell) const
+{
+    return cell.readWithVariation(variationSigma_, rng_, cellLevels_);
+}
+
+std::vector<std::uint64_t>
+Crossbar::mvmRaw(const std::vector<FixedPoint::Raw> &input_raw) const
+{
+    GRAPHR_ASSERT(input_raw.size() == dim_, "input length ",
+                  input_raw.size(), " != crossbar dim ", dim_);
+    std::vector<std::uint64_t> columns(dim_, 0);
+
+    // Outer loop: input slices applied by the driver, LSB first.
+    // Inner: weight slices summed on bitlines, recombined by S/A.
+    for (int in_s = 0; in_s < slices_; ++in_s) {
+        for (std::uint32_t col = 0; col < dim_; ++col) {
+            std::array<std::uint64_t, kSlicesPerValue> partials{};
+            for (int w_s = 0; w_s < slices_; ++w_s) {
+                std::uint64_t bitline = 0;
+                for (std::uint32_t row = 0; row < dim_; ++row) {
+                    const std::uint64_t in_nib =
+                        (input_raw[row] >> (in_s * kCellBits)) & 0xF;
+                    bitline += in_nib *
+                               readLevel(cellAt(row, col, w_s));
+                }
+                partials[static_cast<std::size_t>(w_s)] = bitline;
+            }
+            // Shift-and-add across weight slices, then shift by the
+            // input slice position.
+            const std::uint64_t combined = FixedPoint::shiftAdd(partials);
+            columns[col] += combined << (in_s * kCellBits);
+        }
+    }
+    return columns;
+}
+
+std::vector<FixedPoint::Raw>
+Crossbar::selectRow(std::uint32_t row) const
+{
+    GRAPHR_ASSERT(row < dim_, "row ", row, " outside crossbar");
+    std::vector<FixedPoint::Raw> out(dim_, 0);
+    for (std::uint32_t col = 0; col < dim_; ++col) {
+        FixedPoint::Raw raw = 0;
+        for (int s = slices_ - 1; s >= 0; --s) {
+            raw = static_cast<FixedPoint::Raw>(
+                (raw << kCellBits) | readLevel(cellAt(row, col, s)));
+        }
+        out[col] = raw;
+    }
+    return out;
+}
+
+std::uint32_t
+Crossbar::occupiedRows() const
+{
+    std::uint32_t count = 0;
+    for (std::uint32_t row = 0; row < dim_; ++row) {
+        bool occupied = false;
+        for (std::uint32_t col = 0; col < dim_ && !occupied; ++col) {
+            for (int s = 0; s < slices_ && !occupied; ++s) {
+                if (cellAt(row, col, s).level() != 0)
+                    occupied = true;
+            }
+        }
+        if (occupied)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace graphr

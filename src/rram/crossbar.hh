@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Functional ReRAM crossbar performing in-situ matrix-vector
+ * multiplication (paper Fig. 3(c)).
+ *
+ * Geometry: the crossbar holds a C x C block of 16-bit fixed-point
+ * values. Each value is bit-sliced into kSlicesPerValue 4-bit cells
+ * on adjacent bitlines of the same wordline, so the physical array is
+ * C wordlines x (C * kSlicesPerValue) bitlines; the shift-and-add
+ * unit recombines per-slice bitline sums into full-precision column
+ * results. Inputs are likewise applied slice-serially by the driver.
+ *
+ * The arithmetic is integer-exact: summing slice partial products
+ * with the correct shifts reproduces the full 16x16-bit multiply, so
+ * the functional result equals a digital fixed-point SpMV. Optional
+ * programming variation injects the analog error the paper argues
+ * graph algorithms tolerate.
+ */
+
+#ifndef GRAPHR_RRAM_CROSSBAR_HH
+#define GRAPHR_RRAM_CROSSBAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hh"
+#include "rram/cell.hh"
+#include "rram/device_params.hh"
+
+namespace graphr
+{
+
+/** Functional model of one C x C (logical) ReRAM crossbar. */
+class Crossbar
+{
+  public:
+    /**
+     * @param dim logical dimension C (values per side)
+     * @param params device parameters (cell levels, resistances)
+     */
+    Crossbar(std::uint32_t dim, const DeviceParams &params);
+
+    std::uint32_t dim() const { return dim_; }
+
+    /** Clear all cells to zero. */
+    void clear();
+
+    /**
+     * Program one logical value at (row, col). Counts as one row
+     * visit for write accounting at the caller's level.
+     */
+    void programValue(std::uint32_t row, std::uint32_t col,
+                      FixedPoint value);
+
+    /** Read back the exact stored raw value. */
+    FixedPoint::Raw storedRaw(std::uint32_t row, std::uint32_t col) const;
+
+    /**
+     * In-situ MVM: y[col] = sum_row input[row] * W[row][col], done
+     * slice-by-slice exactly as the hardware would (input slices via
+     * driver, weight slices via bitlines, shift-and-add recombine).
+     * Inputs and outputs are raw fixed-point integers; the caller
+     * owns scaling.
+     *
+     * @param input_raw one raw 16-bit input per wordline
+     * @return 64-bit integer column sums (full precision)
+     */
+    std::vector<std::uint64_t>
+    mvmRaw(const std::vector<FixedPoint::Raw> &input_raw) const;
+
+    /**
+     * Row-selected read for the parallel add-op pattern: returns the
+     * raw stored values of one wordline (an SpMV with a one-hot input
+     * vector, as in paper Fig. 16(c)).
+     */
+    std::vector<FixedPoint::Raw> selectRow(std::uint32_t row) const;
+
+    /**
+     * Enable programming variation: each cell read is perturbed with
+     * Gaussian noise of sigma (in level units). Models analog error.
+     */
+    void
+    setVariation(double sigma_levels, std::uint64_t seed)
+    {
+        variationSigma_ = sigma_levels;
+        rng_ = Rng(seed);
+    }
+
+    /** Number of wordlines that currently hold at least one nonzero. */
+    std::uint32_t occupiedRows() const;
+
+  private:
+    /** Cell holding slice s of value (row, col). */
+    const Cell &
+    cellAt(std::uint32_t row, std::uint32_t col, int slice) const
+    {
+        return cells_[(static_cast<std::size_t>(row) * dim_ + col) *
+                          slices_ +
+                      static_cast<std::size_t>(slice)];
+    }
+
+    Cell &
+    cellAt(std::uint32_t row, std::uint32_t col, int slice)
+    {
+        return cells_[(static_cast<std::size_t>(row) * dim_ + col) *
+                          slices_ +
+                      static_cast<std::size_t>(slice)];
+    }
+
+    std::uint8_t readLevel(const Cell &cell) const;
+
+    std::uint32_t dim_;
+    int slices_;
+    int cellLevels_;
+    std::vector<Cell> cells_;
+    double variationSigma_ = 0.0;
+    mutable Rng rng_{0};
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_RRAM_CROSSBAR_HH

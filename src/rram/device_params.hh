@@ -1,0 +1,111 @@
+/**
+ * @file
+ * ReRAM device, ADC and peripheral timing/energy parameters.
+ *
+ * Values follow the paper's evaluation setup (section 5.2):
+ *  - cell read/write latency 29.31 ns / 50.88 ns and energy
+ *    1.08 pJ / 3.91 nJ from Niu et al. [44] (NVSim inputs),
+ *  - 4-bit multi-level cells (conservative vs the 5-bit of [26]),
+ *  - one 1.0 GSps ADC serving eight 8-bitline crossbars per GE
+ *    (64 ns GE cycle), ADC energy from the Murmann survey [41],
+ *  - register (RegI/RegO) energy from a CACTI-32nm-like estimate,
+ *  - HRS/LRS 25 MOhm / 50 kOhm, 0.7 V read, 2.0 V write.
+ *
+ * Everything is a plain aggregate so ablation benches can sweep any
+ * field.
+ */
+
+#ifndef GRAPHR_RRAM_DEVICE_PARAMS_HH
+#define GRAPHR_RRAM_DEVICE_PARAMS_HH
+
+#include "common/fixed_point.hh"
+#include "common/types.hh"
+
+namespace graphr
+{
+
+/** Electrical and timing constants for the ReRAM array and periphery. */
+struct DeviceParams
+{
+    // --- ReRAM cell / array (Niu et al. [44]) ---
+    double readLatencyNs = 29.31;  ///< array read latency
+    double writeLatencyNs = 50.88; ///< array write latency
+    double readEnergyPj = 1.08;    ///< energy per array read operation
+    double writeEnergyPj = 3910.0; ///< energy per array write op (3.91 nJ)
+    double hrsOhm = 25e6;          ///< high resistance state
+    double lrsOhm = 50e3;          ///< low resistance state
+    double readVoltage = 0.7;      ///< V_r
+    double writeVoltage = 2.0;     ///< V_w
+
+    // --- Cell resolution ---
+    int cellBits = kCellBits;          ///< 4-bit MLC
+    int valueBits = kValueBits;        ///< 16-bit fixed point operands
+    int inputSlices = kSlicesPerValue; ///< driver passes per input value
+
+    // --- ADC (Murmann survey [41], ~8-bit 1.0 GSps SAR class) ---
+    double adcSampleRateGsps = 1.0; ///< samples per ns
+    double adcEnergyPerSamplePj = 2.0;
+    /**
+     * Shared ADCs per graph engine. The paper's example shares one
+     * 1.0 GSps ADC across eight 8-bitline crossbars; with N = 32
+     * crossbars per GE that provisioning corresponds to two ADCs per
+     * GE at the evaluated occupancies.
+     */
+    int adcsPerGe = 2;
+
+    // --- Sample & hold ---
+    double sampleHoldEnergyPj = 0.01;
+
+    // --- Shift & add and sALU (simple 16-bit datapath ops) ---
+    double shiftAddEnergyPj = 0.2;
+    double saluLatencyNs = 1.0;  ///< per reduce operation batch
+    double saluEnergyPj = 0.05;  ///< per scalar reduce op
+
+    // --- RegI/RegO (CACTI 6.5 @32 nm class SRAM register file) ---
+    double regAccessEnergyPj = 1.1; ///< per 16-bit access
+    double regAccessLatencyNs = 0.5;
+
+    // --- Memory ReRAM streaming (sequential COO reads) ---
+    double memReadEnergyPjPerByte = 0.5;
+    double memBandwidthGBs = 76.8; ///< sequential stream bandwidth
+
+    // --- GE cycle (paper: 64 ns) ---
+    double geCycleNs = 64.0;
+
+    /**
+     * Wordline pipelining depth for the add-op pattern: successive
+     * one-hot row activations overlap their precharge/activate/sense
+     * stages, so the steady-state row rate is readLatency / depth.
+     */
+    int addOpRowPipelineDepth = 8;
+
+    /** Controller dispatch cost per tile activation (ns). */
+    double tileDispatchNs = 2.0;
+
+    /**
+     * Peripheral active power of the node while busy (W): the shared
+     * ADCs dominate (ISAAC reports ~58% of a 66 W ReRAM accelerator
+     * in ADCs), plus drivers, S/H bias, sALUs, controller and I/O.
+     * ReRAM cells themselves have near-zero leakage (paper section
+     * 5.5), but the mixed-signal periphery does not.
+     */
+    double peripheralActiveWatts = 55.0;
+
+    /** Conductance levels one cell can represent. */
+    int
+    cellLevels() const
+    {
+        return 1 << cellBits;
+    }
+
+    /** Slices (physical cells) per stored value. */
+    int
+    slicesPerValue() const
+    {
+        return valueBits / cellBits;
+    }
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_RRAM_DEVICE_PARAMS_HH

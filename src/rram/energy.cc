@@ -1,0 +1,43 @@
+#include "energy.hh"
+
+namespace graphr
+{
+
+EnergyEvents &
+EnergyEvents::operator+=(const EnergyEvents &other)
+{
+    arrayWrites += other.arrayWrites;
+    arrayReads += other.arrayReads;
+    adcSamples += other.adcSamples;
+    sampleHolds += other.sampleHolds;
+    shiftAdds += other.shiftAdds;
+    saluOps += other.saluOps;
+    regAccesses += other.regAccesses;
+    memBytes += other.memBytes;
+    return *this;
+}
+
+double
+EnergyBreakdown::total() const
+{
+    return write + read + adc + sampleHold + shiftAdd + salu + reg +
+           memory + peripheral;
+}
+
+EnergyBreakdown
+EnergyLedger::breakdown() const
+{
+    constexpr double pj = 1e-12;
+    EnergyBreakdown b;
+    b.write = events_.arrayWrites * params_.writeEnergyPj * pj;
+    b.read = events_.arrayReads * params_.readEnergyPj * pj;
+    b.adc = events_.adcSamples * params_.adcEnergyPerSamplePj * pj;
+    b.sampleHold = events_.sampleHolds * params_.sampleHoldEnergyPj * pj;
+    b.shiftAdd = events_.shiftAdds * params_.shiftAddEnergyPj * pj;
+    b.salu = events_.saluOps * params_.saluEnergyPj * pj;
+    b.reg = events_.regAccesses * params_.regAccessEnergyPj * pj;
+    b.memory = events_.memBytes * params_.memReadEnergyPjPerByte * pj;
+    return b;
+}
+
+} // namespace graphr

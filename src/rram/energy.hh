@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Event-counting energy ledger for the GraphR node.
+ *
+ * Components report *events* (array writes, reads, ADC samples, sALU
+ * ops, register accesses, streamed bytes); the ledger converts them
+ * to energy with DeviceParams at read-out time. Keeping raw counts
+ * makes the accounting exact, auditable, and re-priceable in
+ * ablations without re-running the simulation.
+ */
+
+#ifndef GRAPHR_RRAM_ENERGY_HH
+#define GRAPHR_RRAM_ENERGY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "rram/device_params.hh"
+
+namespace graphr
+{
+
+/** Raw event counts from one simulation. */
+struct EnergyEvents
+{
+    std::uint64_t arrayWrites = 0;   ///< crossbar row-write operations
+    std::uint64_t arrayReads = 0;    ///< crossbar read (MVM pass) ops
+    std::uint64_t adcSamples = 0;    ///< analog-to-digital conversions
+    std::uint64_t sampleHolds = 0;   ///< S/H captures
+    std::uint64_t shiftAdds = 0;     ///< S/A recombinations
+    std::uint64_t saluOps = 0;       ///< scalar reduce operations
+    std::uint64_t regAccesses = 0;   ///< RegI/RegO 16-bit accesses
+    std::uint64_t memBytes = 0;      ///< bytes streamed from memory ReRAM
+
+    EnergyEvents &operator+=(const EnergyEvents &other);
+};
+
+/** Energy breakdown in joules. */
+struct EnergyBreakdown
+{
+    double write = 0.0;
+    double read = 0.0;
+    double adc = 0.0;
+    double sampleHold = 0.0;
+    double shiftAdd = 0.0;
+    double salu = 0.0;
+    double reg = 0.0;
+    double memory = 0.0;
+    /** Peripheral active power x busy time (set by the node). */
+    double peripheral = 0.0;
+
+    double total() const;
+};
+
+/** Accumulates events and prices them with a parameter set. */
+class EnergyLedger
+{
+  public:
+    explicit EnergyLedger(const DeviceParams &params) : params_(params) {}
+
+    EnergyEvents &events() { return events_; }
+    const EnergyEvents &events() const { return events_; }
+
+    /** Price the accumulated events. */
+    EnergyBreakdown breakdown() const;
+
+    /** Total energy in joules. */
+    double totalJoules() const { return breakdown().total(); }
+
+    void reset() { events_ = EnergyEvents{}; }
+
+    const DeviceParams &params() const { return params_; }
+
+  private:
+    DeviceParams params_;
+    EnergyEvents events_;
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_RRAM_ENERGY_HH

@@ -1,0 +1,190 @@
+#include "graph_engine.hh"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace graphr
+{
+
+GraphEngineArray::GraphEngineArray(std::uint32_t crossbar_dim,
+                                   std::uint32_t num_crossbars,
+                                   const DeviceParams &params,
+                                   EnergyLedger &ledger)
+    : crossbarDim_(crossbar_dim), params_(params), ledger_(ledger)
+{
+    GRAPHR_ASSERT(num_crossbars > 0, "need >= 1 crossbar");
+    crossbars_.reserve(num_crossbars);
+    for (std::uint32_t i = 0; i < num_crossbars; ++i)
+        crossbars_.emplace_back(crossbar_dim, params);
+    present_.assign(static_cast<std::size_t>(crossbarDim_) * tileWidth(),
+                    false);
+}
+
+bool
+GraphEngineArray::presentAt(std::uint32_t row, std::uint64_t col) const
+{
+    return present_[static_cast<std::size_t>(row) * tileWidth() + col];
+}
+
+TileActivity
+GraphEngineArray::programTile(std::span<const Edge> edges,
+                              std::uint64_t row0, std::uint64_t col0,
+                              int weight_frac_bits, CombineMode combine)
+{
+    for (Crossbar &cb : crossbars_)
+        cb.clear();
+    std::fill(present_.begin(), present_.end(), false);
+
+    GRAPHR_ASSERT(crossbarDim_ <= 64,
+                  "row bitmap supports crossbars up to 64x64");
+    TileActivity activity;
+    // Per-crossbar row bitmap to account serial row writes.
+    std::vector<std::uint64_t> rows_touched(crossbars_.size(), 0);
+
+    // A crossbar cell holds one value: merge parallel edges first
+    // (sum for additive reduces, min for relaxation).
+    std::unordered_map<std::uint64_t, double> cells;
+    cells.reserve(edges.size());
+    for (const Edge &e : edges) {
+        GRAPHR_ASSERT(e.src >= row0 && e.src - row0 < crossbarDim_,
+                      "edge row ", e.src, " outside tile at ", row0);
+        GRAPHR_ASSERT(e.dst >= col0 && e.dst - col0 < tileWidth(),
+                      "edge col ", e.dst, " outside tile at ", col0);
+        const auto row = static_cast<std::uint32_t>(e.src - row0);
+        const std::uint64_t col = e.dst - col0;
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(row) * tileWidth() + col;
+        auto [it, inserted] = cells.try_emplace(key, e.weight);
+        if (!inserted) {
+            it->second = combine == CombineMode::kSum
+                             ? it->second + e.weight
+                             : std::min(it->second, e.weight);
+        }
+        ++activity.cellWrites;
+    }
+
+    for (const auto &[key, weight] : cells) {
+        const auto row =
+            static_cast<std::uint32_t>(key / tileWidth());
+        const std::uint64_t col = key % tileWidth();
+        const auto cb_index = static_cast<std::size_t>(col / crossbarDim_);
+        const auto cb_col = static_cast<std::uint32_t>(col % crossbarDim_);
+        crossbars_[cb_index].programValue(
+            row, cb_col, FixedPoint::quantize(weight, weight_frac_bits));
+        present_[key] = true;
+        rows_touched[cb_index] |= (std::uint64_t{1} << row);
+    }
+
+    for (std::size_t cb = 0; cb < crossbars_.size(); ++cb) {
+        if (rows_touched[cb] == 0)
+            continue;
+        ++activity.crossbarsUsed;
+        const auto rows = static_cast<std::uint32_t>(
+            std::popcount(rows_touched[cb]));
+        activity.maxRowsProgrammed =
+            std::max(activity.maxRowsProgrammed, rows);
+        // One array write op programs a whole occupied wordline (all
+        // bitlines, hence all slices of the row's values) at once.
+        activity.rowWriteOps += rows;
+    }
+
+    ledger_.events().arrayWrites += activity.rowWriteOps;
+    return activity;
+}
+
+std::vector<double>
+GraphEngineArray::runMac(const std::vector<double> &input,
+                         int input_frac_bits, int weight_frac_bits)
+{
+    GRAPHR_ASSERT(input.size() == crossbarDim_, "input length ",
+                  input.size(), " != C ", crossbarDim_);
+
+    std::vector<FixedPoint::Raw> raw_in(crossbarDim_);
+    for (std::uint32_t r = 0; r < crossbarDim_; ++r)
+        raw_in[r] = FixedPoint::quantize(input[r], input_frac_bits).raw();
+
+    const double scale =
+        static_cast<double>(1u << input_frac_bits) *
+        static_cast<double>(1u << weight_frac_bits);
+
+    std::vector<double> out(tileWidth(), 0.0);
+    std::uint64_t reads = 0;
+    std::uint64_t samples = 0;
+    for (std::size_t cb = 0; cb < crossbars_.size(); ++cb) {
+        const std::vector<std::uint64_t> cols =
+            crossbars_[cb].mvmRaw(raw_in);
+        for (std::uint32_t c = 0; c < crossbarDim_; ++c) {
+            out[cb * crossbarDim_ + c] =
+                static_cast<double>(cols[c]) / scale;
+        }
+        // One array read per input slice; one ADC sample per physical
+        // bitline (C values x weight slices) per input slice.
+        reads += params_.inputSlices;
+        samples += static_cast<std::uint64_t>(params_.inputSlices) *
+                   crossbarDim_ * params_.slicesPerValue();
+    }
+
+    ledger_.events().arrayReads += reads;
+    ledger_.events().adcSamples += samples;
+    ledger_.events().sampleHolds += samples;
+    ledger_.events().shiftAdds += tileWidth();
+    return out;
+}
+
+std::vector<double>
+GraphEngineArray::runAddOp(std::uint32_t row, double dist_u,
+                           int weight_frac_bits)
+{
+    GRAPHR_ASSERT(row < crossbarDim_, "row ", row, " outside tile");
+
+    std::vector<double> out(tileWidth(), kInfDistance);
+    const double w_scale = static_cast<double>(1u << weight_frac_bits);
+
+    std::uint64_t reads = 0;
+    std::uint64_t samples = 0;
+    for (std::size_t cb = 0; cb < crossbars_.size(); ++cb) {
+        const std::vector<FixedPoint::Raw> row_vals =
+            crossbars_[cb].selectRow(row);
+        for (std::uint32_t c = 0; c < crossbarDim_; ++c) {
+            const std::uint64_t col = cb * crossbarDim_ + c;
+            if (!presentAt(row, col))
+                continue;
+            // The fixed "1" row adds dist(u) to each weight in analog
+            // (paper Fig. 16(c)); functionally that is w + dist_u.
+            out[col] =
+                static_cast<double>(row_vals[c]) / w_scale + dist_u;
+        }
+        reads += 1;
+        samples += static_cast<std::uint64_t>(crossbarDim_) *
+                   params_.slicesPerValue();
+    }
+
+    ledger_.events().arrayReads += reads;
+    ledger_.events().adcSamples += samples;
+    ledger_.events().sampleHolds += samples;
+    ledger_.events().shiftAdds += tileWidth();
+    return out;
+}
+
+std::vector<bool>
+GraphEngineArray::rowMask(std::uint32_t row) const
+{
+    GRAPHR_ASSERT(row < crossbarDim_, "row outside tile");
+    std::vector<bool> mask(tileWidth(), false);
+    for (std::uint64_t col = 0; col < tileWidth(); ++col)
+        mask[col] = presentAt(row, col);
+    return mask;
+}
+
+void
+GraphEngineArray::setVariation(double sigma_levels, std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (Crossbar &cb : crossbars_)
+        cb.setVariation(sigma_levels, s++);
+}
+
+} // namespace graphr

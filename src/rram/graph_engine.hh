@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Functional graph engine: a bank of crossbars spanning one tile.
+ *
+ * A tile (paper "subgraph") is C rows x (C*N*G) columns; the full GE
+ * array of one GraphR node covers it with N*G crossbars of C columns
+ * each. This class implements the *functional* behaviour — program a
+ * tile, run parallel-MAC or parallel-add-op over it — and counts the
+ * device events (writes, reads, ADC samples, S/A, sALU, register
+ * accesses) into an EnergyLedger. Timing is derived by the node-level
+ * cost model from the same counts.
+ */
+
+#ifndef GRAPHR_RRAM_GRAPH_ENGINE_HH
+#define GRAPHR_RRAM_GRAPH_ENGINE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/fixed_point.hh"
+#include "graph/edge.hh"
+#include "rram/crossbar.hh"
+#include "rram/energy.hh"
+#include "rram/salu.hh"
+
+namespace graphr
+{
+
+/**
+ * How parallel (duplicate) edges are merged into one matrix cell. A
+ * crossbar cell can hold only one value, so multigraph edges must be
+ * combined consistently with the algorithm's reduce function: kSum
+ * for additive reduces (parallel MAC), kMin for min reduces
+ * (parallel add-op).
+ */
+enum class CombineMode
+{
+    kSum,
+    kMin,
+};
+
+/** Per-tile device activity summary (feeds the cost model). */
+struct TileActivity
+{
+    std::uint32_t crossbarsUsed = 0;   ///< crossbars with >= 1 nonzero
+    std::uint32_t maxRowsProgrammed = 0; ///< serial row-write depth
+    std::uint64_t cellWrites = 0;      ///< logical values programmed
+    std::uint64_t rowWriteOps = 0;     ///< array-level row writes
+    std::uint64_t readPasses = 0;      ///< array read operations
+    std::uint64_t adcSamples = 0;
+    std::uint64_t saluOps = 0;
+};
+
+/**
+ * Functional model of the full GE array of a GraphR node operating on
+ * one tile at a time.
+ */
+class GraphEngineArray
+{
+  public:
+    /**
+     * @param crossbar_dim C
+     * @param num_crossbars N*G (crossbars across all GEs)
+     * @param params device parameters
+     * @param ledger energy event sink (must outlive this object)
+     */
+    GraphEngineArray(std::uint32_t crossbar_dim,
+                     std::uint32_t num_crossbars,
+                     const DeviceParams &params, EnergyLedger &ledger);
+
+    std::uint32_t crossbarDim() const { return crossbarDim_; }
+    std::uint32_t numCrossbars() const
+    {
+        return static_cast<std::uint32_t>(crossbars_.size());
+    }
+    /** Tile width in values = C * numCrossbars. */
+    std::uint64_t tileWidth() const
+    {
+        return static_cast<std::uint64_t>(crossbarDim_) * numCrossbars();
+    }
+
+    /**
+     * Program a tile's edges. Edge coordinates are absolute; the
+     * tile origin (row0, col0) maps them into [0, C) x [0,
+     * tileWidth). Weights are quantised with weight_frac_bits
+     * fractional bits; parallel edges are merged per @p combine.
+     * Returns the activity (also accumulated into the ledger).
+     */
+    TileActivity programTile(std::span<const Edge> edges,
+                             std::uint64_t row0, std::uint64_t col0,
+                             int weight_frac_bits,
+                             CombineMode combine = CombineMode::kSum);
+
+    /**
+     * Parallel MAC over the programmed tile: y[col] += x[row] *
+     * W[row][col] for all columns at once (paper section 4.1).
+     *
+     * @param input per-row real inputs (length C), quantised with
+     *        input_frac_bits
+     * @param input_frac_bits input quantisation
+     * @param weight_frac_bits must match programTile's
+     * @return tileWidth() real-valued column sums
+     */
+    std::vector<double> runMac(const std::vector<double> &input,
+                               int input_frac_bits, int weight_frac_bits);
+
+    /**
+     * Parallel add-op for one active source row (paper section 4.2,
+     * Fig. 16(c)): returns dist_u + W[row][col] for every column that
+     * holds an edge, and +infinity for absent columns.
+     *
+     * @param row tile-relative source row
+     * @param dist_u current distance label of the source
+     * @param weight_frac_bits quantisation used when programming
+     */
+    std::vector<double> runAddOp(std::uint32_t row, double dist_u,
+                                 int weight_frac_bits);
+
+    /** Mask of columns holding a nonzero in the given row. */
+    std::vector<bool> rowMask(std::uint32_t row) const;
+
+    /** sALU shared by the node (configured per algorithm). */
+    Salu &salu() { return salu_; }
+
+    /** Enable cell programming variation on all crossbars. */
+    void setVariation(double sigma_levels, std::uint64_t seed);
+
+  private:
+    std::uint32_t crossbarDim_;
+    DeviceParams params_;
+    EnergyLedger &ledger_;
+    std::vector<Crossbar> crossbars_;
+    /** Presence mask: does (row, col) hold an edge? Tile-relative. */
+    std::vector<bool> present_;
+    Salu salu_{SaluOp::kAdd};
+
+    bool presentAt(std::uint32_t row, std::uint64_t col) const;
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_RRAM_GRAPH_ENGINE_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Simple ALU (sALU) performing the configurable reduce operation
+ * (paper Fig. 15: add for PageRank, min for SSSP/BFS).
+ */
+
+#ifndef GRAPHR_RRAM_SALU_HH
+#define GRAPHR_RRAM_SALU_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace graphr
+{
+
+/** Reduce operation the sALU is configured with. */
+enum class SaluOp
+{
+    kAdd, ///< parallel MAC algorithms (PageRank, SpMV, CF)
+    kMin, ///< parallel add-op algorithms (BFS, SSSP)
+    kMax, ///< provided for completeness (e.g. widest-path)
+};
+
+/**
+ * The sALU combines a vector of freshly computed values with the
+ * running register (RegO) contents element-wise. It also counts the
+ * operations it performed so the node can charge time and energy.
+ */
+class Salu
+{
+  public:
+    explicit Salu(SaluOp op) : op_(op) {}
+
+    SaluOp op() const { return op_; }
+    void configure(SaluOp op) { op_ = op; }
+
+    /** Ops performed since construction/reset. */
+    std::uint64_t opCount() const { return opCount_; }
+    void resetCount() { opCount_ = 0; }
+
+    /** Reduce one scalar pair. */
+    double
+    reduce(double reg_value, double new_value)
+    {
+        ++opCount_;
+        switch (op_) {
+          case SaluOp::kAdd:
+            return reg_value + new_value;
+          case SaluOp::kMin:
+            return std::min(reg_value, new_value);
+          case SaluOp::kMax:
+            return std::max(reg_value, new_value);
+        }
+        GRAPHR_PANIC("unknown sALU op");
+    }
+
+    /**
+     * Element-wise reduce of new_values into reg (paper Fig. 15).
+     * Vectors must be the same length.
+     */
+    void
+    reduceInto(std::vector<double> &reg,
+               const std::vector<double> &new_values)
+    {
+        GRAPHR_ASSERT(reg.size() == new_values.size(),
+                      "sALU vector length mismatch: ", reg.size(), " vs ",
+                      new_values.size());
+        for (std::size_t i = 0; i < reg.size(); ++i)
+            reg[i] = reduce(reg[i], new_values[i]);
+    }
+
+  private:
+    SaluOp op_;
+    std::uint64_t opCount_ = 0;
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_RRAM_SALU_HH

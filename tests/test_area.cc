@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the NVSim-style node area model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rram/area.hh"
+
+namespace graphr
+{
+namespace
+{
+
+TEST(AreaTest, BreakdownSumsToTotal)
+{
+    const TilingParams tiling;
+    const DeviceParams device;
+    const AreaBreakdown area = nodeArea(tiling, device);
+    EXPECT_NEAR(area.total(),
+                area.crossbars + area.adcs + area.sampleHolds +
+                    area.drivers + area.shiftAdds + area.salus +
+                    area.registers + area.controller,
+                1e-12);
+    EXPECT_GT(area.total(), 0.0);
+}
+
+TEST(AreaTest, ScalesWithGeCount)
+{
+    TilingParams small;
+    small.numGe = 16;
+    TilingParams big;
+    big.numGe = 64;
+    const DeviceParams device;
+    const AreaBreakdown a = nodeArea(small, device);
+    const AreaBreakdown b = nodeArea(big, device);
+    EXPECT_GT(b.total(), a.total());
+    EXPECT_NEAR(b.adcs / a.adcs, 4.0, 1e-9);
+    EXPECT_NEAR(b.crossbars / a.crossbars, 4.0, 1e-9);
+}
+
+TEST(AreaTest, FinerCellsCostMoreArray)
+{
+    const TilingParams tiling;
+    DeviceParams coarse;
+    coarse.cellBits = 8; // 2 slices per value
+    DeviceParams fine;
+    fine.cellBits = 2; // 8 slices per value
+    const AreaBreakdown a = nodeArea(tiling, coarse);
+    const AreaBreakdown b = nodeArea(tiling, fine);
+    EXPECT_NEAR(b.crossbars / a.crossbars, 4.0, 1e-9);
+    EXPECT_GT(b.sampleHolds, a.sampleHolds);
+}
+
+TEST(AreaTest, CrossbarsAreSmallPartOfNode)
+{
+    // The paper's low-hardware-cost argument: the 4F^2 ReRAM array is
+    // tiny relative to the mixed-signal periphery.
+    const AreaBreakdown area = nodeArea(TilingParams{}, DeviceParams{});
+    EXPECT_LT(area.crossbars, area.adcs + area.drivers +
+                                  area.sampleHolds + area.controller);
+}
+
+TEST(AreaTest, TechnologyShrinkReducesArray)
+{
+    AreaParams n32;
+    n32.featureNm = 32.0;
+    AreaParams n16;
+    n16.featureNm = 16.0;
+    const AreaBreakdown a = nodeArea(TilingParams{}, DeviceParams{}, n32);
+    const AreaBreakdown b = nodeArea(TilingParams{}, DeviceParams{}, n16);
+    EXPECT_NEAR(a.crossbars / b.crossbars, 4.0, 1e-9);
+}
+
+TEST(AreaTest, PrintsAllComponents)
+{
+    std::ostringstream oss;
+    nodeArea(TilingParams{}, DeviceParams{}).print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("crossbars"), std::string::npos);
+    EXPECT_NE(out.find("ADCs"), std::string::npos);
+    EXPECT_NE(out.find("total"), std::string::npos);
+}
+
+} // namespace
+} // namespace graphr

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the CPU / GPU / PIM baseline models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_model.hh"
+#include "baselines/gpu_model.hh"
+#include "baselines/pim_model.hh"
+#include "graph/generator.hh"
+
+namespace graphr
+{
+namespace
+{
+
+CooGraph
+testGraph()
+{
+    return makeRmat({.numVertices = 2000,
+                     .numEdges = 16000,
+                     .maxWeight = 15.0,
+                     .seed = 51});
+}
+
+TEST(CpuModelTest, PageRankScalesWithIterations)
+{
+    CpuModel cpu;
+    const CooGraph g = testGraph();
+    const BaselineReport r5 = cpu.runPageRank(g, 5);
+    const BaselineReport r10 = cpu.runPageRank(g, 10);
+    EXPECT_GT(r5.seconds, 0.0);
+    EXPECT_NEAR(r10.seconds / r5.seconds, 2.0, 0.05);
+    EXPECT_EQ(r10.edgesProcessed, 2 * r5.edgesProcessed);
+}
+
+TEST(CpuModelTest, EnergyIncludesDram)
+{
+    CpuModel cpu;
+    const CooGraph g = testGraph();
+    const BaselineReport r = cpu.runPageRank(g, 5);
+    EXPECT_GT(r.joules, cpu.params().packageWatts * r.seconds * 0.99);
+    EXPECT_GT(r.dramAccesses, 0u);
+}
+
+TEST(CpuModelTest, TraversalVisitsReachableEdges)
+{
+    CpuModel cpu;
+    const CooGraph g = testGraph();
+    const BaselineReport r = cpu.runBfs(g, 0);
+    EXPECT_GT(r.iterations, 1u);
+    EXPECT_GT(r.edgesProcessed, 0u);
+    // Synchronous relaxation may revisit edges across rounds but the
+    // volume stays within iterations * |E|.
+    EXPECT_LE(r.edgesProcessed, r.iterations * g.numEdges());
+}
+
+TEST(CpuModelTest, SsspAndBfsSameStructure)
+{
+    CpuModel cpu;
+    const CooGraph g = testGraph();
+    const BaselineReport b = cpu.runBfs(g, 0);
+    const BaselineReport s = cpu.runSssp(g, 0);
+    EXPECT_EQ(b.platform, "cpu");
+    EXPECT_EQ(s.algorithm, "sssp");
+    EXPECT_GT(s.seconds, 0.0);
+    EXPECT_GT(b.seconds, 0.0);
+}
+
+TEST(CpuModelTest, CfCostGrowsWithK)
+{
+    CpuModel cpu;
+    const CooGraph ratings = makeBipartiteRatings(400, 80, 6000, 52);
+    CfParams k8;
+    k8.numUsers = 400;
+    k8.featureLength = 8;
+    k8.epochs = 2;
+    CfParams k32 = k8;
+    k32.featureLength = 32;
+    EXPECT_GT(cpu.runCf(ratings, k32).seconds,
+              cpu.runCf(ratings, k8).seconds);
+}
+
+TEST(GpuModelTest, TransferChargedOnce)
+{
+    GpuModel gpu;
+    const CooGraph g = testGraph();
+    const BaselineReport r1 = gpu.runPageRank(g, 1);
+    const BaselineReport r10 = gpu.runPageRank(g, 10);
+    // 10 iterations cost less than 10x one iteration because the
+    // PCIe transfer amortises.
+    EXPECT_LT(r10.seconds, 10.0 * r1.seconds);
+    EXPECT_GT(r10.seconds, r1.seconds);
+}
+
+TEST(GpuModelTest, BandwidthBoundScaling)
+{
+    GpuModel gpu;
+    const CooGraph small = makeRmat(
+        {.numVertices = 1000, .numEdges = 8000, .seed = 53});
+    const CooGraph big = makeRmat(
+        {.numVertices = 1000, .numEdges = 64000, .seed = 53});
+    const BaselineReport rs = gpu.runPageRank(small, 10);
+    const BaselineReport rb = gpu.runPageRank(big, 10);
+    EXPECT_GT(rb.seconds, rs.seconds);
+    EXPECT_GT(rb.joules, rs.joules);
+}
+
+TEST(GpuModelTest, TraversalRoundsMatchGolden)
+{
+    GpuModel gpu;
+    const CooGraph g = testGraph();
+    const BaselineReport r = gpu.runBfs(g, 0);
+    EXPECT_GT(r.iterations, 1u);
+    EXPECT_GT(r.joules, 0.0);
+}
+
+TEST(GpuModelTest, CfComputeBound)
+{
+    GpuModel gpu;
+    const CooGraph ratings = makeBipartiteRatings(400, 80, 6000, 54);
+    CfParams cf;
+    cf.numUsers = 400;
+    cf.featureLength = 32;
+    cf.epochs = 3;
+    const BaselineReport r = gpu.runCf(ratings, cf);
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_EQ(r.iterations, 3u);
+}
+
+TEST(PimModelTest, FasterThanCpuOnPageRank)
+{
+    // Tesseract's headline claim: order-of-magnitude speedup over
+    // conventional systems on graph workloads.
+    CpuModel cpu;
+    PimModel pim;
+    const CooGraph g = testGraph();
+    const BaselineReport rc = cpu.runPageRank(g, 10);
+    const BaselineReport rp = pim.runPageRank(g, 10);
+    EXPECT_GT(rc.seconds / rp.seconds, 2.0);
+}
+
+TEST(PimModelTest, CoreCountMatchesConfig)
+{
+    PimModel pim;
+    EXPECT_EQ(pim.totalCores(), 512u);
+}
+
+TEST(PimModelTest, BarrierCostPerIteration)
+{
+    PimModel pim;
+    const CooGraph tiny = makeChain(16);
+    const BaselineReport r = pim.runPageRank(tiny, 100);
+    // Tiny graph: barrier dominates; 100 iterations >= 100 barriers.
+    EXPECT_GE(r.seconds, 100.0 * pim.params().barrierUs * 1e-6);
+}
+
+TEST(PimModelTest, TraversalActiveEdgesOnly)
+{
+    PimModel pim;
+    const CooGraph g = testGraph();
+    const BaselineReport full = pim.runPageRank(g, 1);
+    const BaselineReport bfs_r = pim.runBfs(g, 0);
+    // Per-round PIM BFS work is bounded by whole-graph sweeps.
+    EXPECT_LE(bfs_r.edgesProcessed,
+              bfs_r.iterations * full.edgesProcessed);
+}
+
+} // namespace
+} // namespace graphr

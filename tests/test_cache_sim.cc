@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the multi-level cache + DRAM model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/cache_sim.hh"
+
+namespace graphr
+{
+namespace
+{
+
+TEST(CacheLevelTest, HitAfterInsert)
+{
+    CacheLevel level(CacheLevelParams{1024, 2, 64, 4});
+    EXPECT_FALSE(level.access(0));
+    EXPECT_TRUE(level.access(0));
+}
+
+TEST(CacheLevelTest, LruEviction)
+{
+    // 2 ways, 8 sets (1024 / (64*2)). Lines 0, 8, 16 map to set 0.
+    CacheLevel level(CacheLevelParams{1024, 2, 64, 4});
+    EXPECT_FALSE(level.access(0));
+    EXPECT_FALSE(level.access(8));
+    EXPECT_FALSE(level.access(16)); // evicts line 0
+    EXPECT_FALSE(level.access(0));  // miss again
+    EXPECT_TRUE(level.access(16));  // still resident
+}
+
+TEST(CacheLevelTest, ResetClears)
+{
+    CacheLevel level(CacheLevelParams{1024, 2, 64, 4});
+    level.access(5);
+    level.reset();
+    EXPECT_FALSE(level.access(5));
+}
+
+TEST(CacheHierarchyTest, LatencyIncreasesDownTheHierarchy)
+{
+    CacheHierarchy h;
+    const std::uint32_t miss_all = h.access(0); // cold: DRAM
+    const std::uint32_t hit_l1 = h.access(0);
+    EXPECT_GT(miss_all, hit_l1);
+    EXPECT_EQ(hit_l1, h.params().l1.hitCycles);
+    EXPECT_EQ(miss_all, h.params().l1.hitCycles +
+                            h.params().l2.hitCycles +
+                            h.params().l3.hitCycles +
+                            h.params().dramCycles);
+}
+
+TEST(CacheHierarchyTest, StatsAccumulate)
+{
+    CacheHierarchy h;
+    h.access(0);
+    h.access(0);
+    h.access(64);
+    EXPECT_EQ(h.stats().accesses, 3u);
+    EXPECT_EQ(h.stats().l1Hits, 1u);
+    EXPECT_EQ(h.stats().dramAccesses, 2u);
+}
+
+TEST(CacheHierarchyTest, SequentialStreamHitsMostly)
+{
+    CacheHierarchy h;
+    // 64-byte lines: 8 consecutive 8-byte words share one line.
+    for (std::uint64_t addr = 0; addr < 8000; addr += 8)
+        h.access(addr);
+    const CacheStats &s = h.stats();
+    EXPECT_GT(static_cast<double>(s.l1Hits) /
+                  static_cast<double>(s.accesses),
+              0.8);
+}
+
+TEST(CacheHierarchyTest, RandomLargeFootprintMissesToDram)
+{
+    CacheHierarchy h;
+    // Stride far beyond L3 capacity.
+    std::uint64_t addr = 0;
+    for (int i = 0; i < 20000; ++i) {
+        h.access(addr);
+        addr += 64 * 1024 + 64; // unique lines, no reuse
+    }
+    const CacheStats &s = h.stats();
+    EXPECT_EQ(s.dramAccesses, s.accesses);
+}
+
+TEST(CacheHierarchyTest, WorkingSetFitsInL3NotL1)
+{
+    CacheHierarchy h;
+    // 4 MB working set: misses L1/L2 but fits the 20 MB L3.
+    const std::uint64_t lines = 4 * 1024 * 1024 / 64;
+    for (int pass = 0; pass < 3; ++pass)
+        for (std::uint64_t l = 0; l < lines; ++l)
+            h.access(l * 64);
+    const CacheStats &s = h.stats();
+    // After the cold pass, L3 serves the rest.
+    EXPECT_GT(s.l3Hits, s.accesses / 2);
+    EXPECT_LT(s.dramAccesses, s.accesses / 2);
+}
+
+} // namespace
+} // namespace graphr

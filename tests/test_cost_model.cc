@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the GraphR tile cost model and energy ledger.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graphr/cost_model.hh"
+#include "rram/energy.hh"
+
+namespace graphr
+{
+namespace
+{
+
+TileMeta
+meta(std::uint64_t nnz, std::uint32_t crossbars, std::uint32_t max_rows,
+     std::uint64_t nnz_cols)
+{
+    TileMeta m;
+    m.nnz = nnz;
+    m.crossbarsUsed = crossbars;
+    m.maxRowsProgrammed = max_rows;
+    m.nnzColumns = nnz_cols;
+    return m;
+}
+
+GraphRConfig
+smallConfig()
+{
+    GraphRConfig cfg;
+    cfg.tiling.crossbarDim = 8;
+    cfg.tiling.crossbarsPerGe = 4;
+    cfg.tiling.numGe = 4;
+    return cfg;
+}
+
+TEST(CostModelTest, ProgramTimeScalesWithRowDepth)
+{
+    const GraphRConfig cfg = smallConfig();
+    const CostModel model(cfg);
+    EnergyEvents ev;
+    const TileCost one = model.macTile(meta(8, 2, 1, 8), ev);
+    const TileCost four = model.macTile(meta(8, 2, 4, 8), ev);
+    EXPECT_NEAR(four.programNs, 4.0 * one.programNs, 1e-9);
+    EXPECT_NEAR(one.programNs, cfg.device.writeLatencyNs, 1e-9);
+}
+
+TEST(CostModelTest, ComputeTimeIndependentOfRowDepth)
+{
+    const CostModel model(smallConfig());
+    EnergyEvents ev;
+    const TileCost a = model.macTile(meta(8, 2, 1, 8), ev);
+    const TileCost b = model.macTile(meta(8, 2, 8, 8), ev);
+    EXPECT_DOUBLE_EQ(a.computeNs, b.computeNs);
+}
+
+TEST(CostModelTest, AdcTimeScalesWithCrossbars)
+{
+    const CostModel model(smallConfig());
+    EnergyEvents ev;
+    const TileCost narrow = model.macTile(meta(8, 1, 1, 8), ev);
+    const TileCost wide = model.macTile(meta(8, 16, 1, 8), ev);
+    EXPECT_GT(wide.computeNs, narrow.computeNs);
+}
+
+TEST(CostModelTest, PipelineTakesMaxSerialTakesSum)
+{
+    TileCost cost;
+    cost.programNs = 100.0;
+    cost.overlappedProgramNs = 25.0; // 4 banks programming in overlap
+    cost.computeNs = 40.0;
+    cost.streamNs = 10.0;
+    // Pipelined: bank-overlapped programming hides behind compute.
+    EXPECT_DOUBLE_EQ(cost.totalNs(true), 40.0);
+    // Serial: full latencies add.
+    EXPECT_DOUBLE_EQ(cost.totalNs(false), 150.0);
+}
+
+TEST(CostModelTest, ProgramOverlapDepthBounds)
+{
+    const CostModel model(smallConfig()); // N*G = 16 crossbars
+    EXPECT_DOUBLE_EQ(model.programOverlapDepth(1), 16.0);
+    EXPECT_DOUBLE_EQ(model.programOverlapDepth(4), 4.0);
+    EXPECT_DOUBLE_EQ(model.programOverlapDepth(16), 1.0);
+    // More crossbars than exist: clamped at 1 (no speedup).
+    EXPECT_DOUBLE_EQ(model.programOverlapDepth(32), 1.0);
+}
+
+TEST(CostModelTest, MacPassesScaleComputeNotProgram)
+{
+    const CostModel model(smallConfig());
+    EnergyEvents ev1;
+    EnergyEvents ev8;
+    const TileCost p1 = model.macTile(meta(16, 4, 4, 12), ev1, 1);
+    const TileCost p8 = model.macTile(meta(16, 4, 4, 12), ev8, 8);
+    EXPECT_DOUBLE_EQ(p8.programNs, p1.programNs);
+    EXPECT_GT(p8.computeNs, 7.0 * p1.computeNs);
+    EXPECT_EQ(ev8.arrayReads, 8 * ev1.arrayReads);
+    EXPECT_EQ(ev8.adcSamples, 8 * ev1.adcSamples);
+    EXPECT_EQ(ev8.arrayWrites, ev1.arrayWrites);
+    EXPECT_EQ(ev8.memBytes, ev1.memBytes);
+}
+
+TEST(CostModelTest, AddOpScalesWithActiveRows)
+{
+    const CostModel model(smallConfig());
+    const double dispatch = smallConfig().device.tileDispatchNs;
+    EnergyEvents ev;
+    const TileCost one = model.addOpTile(meta(16, 4, 4, 12), 1, ev);
+    const TileCost four = model.addOpTile(meta(16, 4, 4, 12), 4, ev);
+    // Rows are serial on top of a fixed per-tile dispatch cost.
+    EXPECT_NEAR(four.computeNs - dispatch,
+                4.0 * (one.computeNs - dispatch), 1e-9);
+    EXPECT_DOUBLE_EQ(four.programNs, one.programNs);
+}
+
+TEST(CostModelTest, EventsAreEmitted)
+{
+    const CostModel model(smallConfig());
+    EnergyEvents ev;
+    model.macTile(meta(10, 3, 2, 9), ev);
+    EXPECT_EQ(ev.arrayWrites, 6u); // crossbars * maxRows
+    EXPECT_GT(ev.arrayReads, 0u);
+    EXPECT_GT(ev.adcSamples, 0u);
+    EXPECT_GT(ev.memBytes, 0u);
+}
+
+TEST(CostModelTest, MoreAdcsShortenConversion)
+{
+    GraphRConfig few = smallConfig();
+    few.device.adcsPerGe = 1;
+    GraphRConfig many = smallConfig();
+    many.device.adcsPerGe = 8;
+    EnergyEvents ev;
+    const TileCost slow = CostModel(few).macTile(meta(8, 16, 1, 8), ev);
+    const TileCost fast = CostModel(many).macTile(meta(8, 16, 1, 8), ev);
+    EXPECT_GT(slow.computeNs, fast.computeNs);
+}
+
+TEST(EnergyLedgerTest, BreakdownSumsToTotal)
+{
+    DeviceParams params;
+    EnergyLedger ledger(params);
+    ledger.events().arrayWrites = 100;
+    ledger.events().arrayReads = 200;
+    ledger.events().adcSamples = 300;
+    ledger.events().sampleHolds = 300;
+    ledger.events().shiftAdds = 50;
+    ledger.events().saluOps = 60;
+    ledger.events().regAccesses = 70;
+    ledger.events().memBytes = 1000;
+    const EnergyBreakdown b = ledger.breakdown();
+    EXPECT_NEAR(b.total(),
+                b.write + b.read + b.adc + b.sampleHold + b.shiftAdd +
+                    b.salu + b.reg + b.memory,
+                1e-18);
+    EXPECT_GT(b.total(), 0.0);
+    // Writes dominate at 3.91 nJ per op.
+    EXPECT_GT(b.write, b.read);
+}
+
+TEST(EnergyLedgerTest, EventsAddUp)
+{
+    EnergyEvents a;
+    a.arrayWrites = 1;
+    a.memBytes = 10;
+    EnergyEvents b;
+    b.arrayWrites = 2;
+    b.adcSamples = 5;
+    a += b;
+    EXPECT_EQ(a.arrayWrites, 3u);
+    EXPECT_EQ(a.adcSamples, 5u);
+    EXPECT_EQ(a.memBytes, 10u);
+}
+
+} // namespace
+} // namespace graphr

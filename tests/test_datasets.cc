@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Additional dataset and scaling tests: the synthetic stand-ins must
+ * preserve the structural properties (size ratios, density, skew)
+ * that GraphR's evaluation depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "graph/datasets.hh"
+#include "graph/generator.hh"
+
+namespace graphr
+{
+namespace
+{
+
+TEST(DatasetScalingTest, EdgesScaleLinearly)
+{
+    const CooGraph s4 = makeDataset(DatasetId::kWikiVote, 4.0);
+    const CooGraph s8 = makeDataset(DatasetId::kWikiVote, 8.0);
+    EXPECT_NEAR(static_cast<double>(s4.numEdges()) / s8.numEdges(), 2.0,
+                0.01);
+}
+
+TEST(DatasetScalingTest, VerticesScaleBySqrt)
+{
+    const CooGraph s1 = makeDataset(DatasetId::kWikiVote, 1.0);
+    const CooGraph s4 = makeDataset(DatasetId::kWikiVote, 4.0);
+    EXPECT_NEAR(static_cast<double>(s1.numVertices()) /
+                    s4.numVertices(),
+                2.0, 0.05);
+}
+
+TEST(DatasetScalingTest, DensityPreservedAcrossScales)
+{
+    for (double scale : {1.0, 4.0, 16.0}) {
+        const CooGraph g = makeDataset(DatasetId::kSlashdot, scale);
+        const DatasetInfo &info = datasetInfo(DatasetId::kSlashdot);
+        const double paper_density =
+            static_cast<double>(info.paperEdges) /
+            (static_cast<double>(info.paperVertices) *
+             info.paperVertices);
+        EXPECT_NEAR(g.density() / paper_density, 1.0, 0.2)
+            << "scale " << scale;
+    }
+}
+
+TEST(DatasetScalingTest, DatasetsKeepPaperDensityOrdering)
+{
+    // Table 3 density ordering at bench scale: WV > SD > AZ > WG.
+    const double wv = makeDataset(DatasetId::kWikiVote, 4).density();
+    const double sd = makeDataset(DatasetId::kSlashdot, 4).density();
+    const double az = makeDataset(DatasetId::kAmazon, 4).density();
+    EXPECT_GT(wv, sd);
+    EXPECT_GT(sd, az);
+}
+
+TEST(DatasetScalingTest, DistinctSeedsDistinctGraphs)
+{
+    const CooGraph a = makeDataset(DatasetId::kWikiVote, 8.0, 1);
+    const CooGraph b = makeDataset(DatasetId::kWikiVote, 8.0, 2);
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    bool differs = false;
+    for (std::size_t i = 0; i < a.numEdges() && !differs; ++i)
+        differs = !(a.edges()[i] == b.edges()[i]);
+    EXPECT_TRUE(differs);
+}
+
+TEST(DatasetScalingTest, DatasetsAreDeterministic)
+{
+    const CooGraph a = makeDataset(DatasetId::kAmazon, 16.0, 7);
+    const CooGraph b = makeDataset(DatasetId::kAmazon, 16.0, 7);
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    for (std::size_t i = 0; i < a.numEdges(); ++i)
+        EXPECT_EQ(a.edges()[i], b.edges()[i]);
+}
+
+TEST(BenchScaleTest, EnvironmentOverrideWorks)
+{
+    ::setenv("GRAPHR_DATASET_SCALE", "64", 1);
+    EXPECT_DOUBLE_EQ(benchScale(DatasetId::kWikiVote), 64.0);
+    EXPECT_DOUBLE_EQ(benchScale(DatasetId::kOrkut), 64.0);
+    ::unsetenv("GRAPHR_DATASET_SCALE");
+    // Defaults: large datasets scale harder.
+    EXPECT_GT(benchScale(DatasetId::kOrkut),
+              benchScale(DatasetId::kWikiVote));
+}
+
+TEST(BenchScaleTest, RejectsInvalidOverride)
+{
+    ::setenv("GRAPHR_DATASET_SCALE", "0.5", 1);
+    // Falls back to the per-dataset default.
+    EXPECT_DOUBLE_EQ(benchScale(DatasetId::kWikiVote),
+                     kSmallBenchScale);
+    ::unsetenv("GRAPHR_DATASET_SCALE");
+}
+
+TEST(RmatSkewTest, DegreeDistributionHeavyTailed)
+{
+    const CooGraph g = makeDataset(DatasetId::kSlashdot, 16.0);
+    const auto deg = g.outDegrees();
+    // Count vertices holding the top decile of edge mass.
+    std::vector<EdgeId> sorted(deg.begin(), deg.end());
+    std::sort(sorted.rbegin(), sorted.rend());
+    EdgeId cum = 0;
+    std::size_t hubs = 0;
+    while (cum < g.numEdges() / 2 && hubs < sorted.size())
+        cum += sorted[hubs++];
+    // Half the edges concentrate on under 10% of vertices (skew).
+    EXPECT_LT(static_cast<double>(hubs) / g.numVertices(), 0.10);
+}
+
+} // namespace
+} // namespace graphr

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the functional graph-engine array (tile-level datapath).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/spmv.hh"
+#include "graph/generator.hh"
+#include "graph/partition.hh"
+#include "graph/preprocess.hh"
+#include "graphr/tile_meta.hh"
+#include "rram/graph_engine.hh"
+
+namespace graphr
+{
+namespace
+{
+
+TEST(GraphEngineTest, GeometryMatchesParameters)
+{
+    DeviceParams params;
+    EnergyLedger ledger(params);
+    GraphEngineArray ge(4, 8, params, ledger);
+    EXPECT_EQ(ge.crossbarDim(), 4u);
+    EXPECT_EQ(ge.numCrossbars(), 8u);
+    EXPECT_EQ(ge.tileWidth(), 32u);
+}
+
+TEST(GraphEngineTest, ProgramTileActivityCounts)
+{
+    DeviceParams params;
+    EnergyLedger ledger(params);
+    GraphEngineArray ge(4, 4, params, ledger);
+
+    // Two edges in crossbar 0 (cols 0..3), one in crossbar 2.
+    std::vector<Edge> edges = {
+        {0, 1, 2.0}, {2, 1, 3.0}, {1, 9, 4.0}};
+    const TileActivity act = ge.programTile(edges, 0, 0, 0);
+    EXPECT_EQ(act.cellWrites, 3u);
+    EXPECT_EQ(act.crossbarsUsed, 2u);
+    EXPECT_EQ(act.maxRowsProgrammed, 2u); // crossbar 0 rows {0, 2}
+    EXPECT_EQ(act.rowWriteOps, 3u);       // 2 rows + 1 row
+    EXPECT_EQ(ledger.events().arrayWrites, 3u);
+}
+
+TEST(GraphEngineTest, MacMatchesDigitalSpmv)
+{
+    DeviceParams params;
+    EnergyLedger ledger(params);
+    const std::uint32_t dim = 4;
+    GraphEngineArray ge(dim, 4, params, ledger);
+
+    // Small weighted graph inside a single tile (16 columns).
+    CooGraph g(16, {});
+    g.addEdge(0, 1, 0.5);
+    g.addEdge(0, 5, 1.25);
+    g.addEdge(1, 1, 2.0);
+    g.addEdge(2, 9, 0.75);
+    g.addEdge(3, 15, 3.0);
+
+    const int wf = 8;
+    const int xf = 8;
+    ge.programTile(g.edges(), 0, 0, wf);
+
+    const std::vector<double> x = {0.5, 1.0, 2.0, 0.25};
+    const std::vector<double> y = ge.runMac(x, xf, wf);
+
+    // Digital reference on the same graph restricted to rows 0..3.
+    std::vector<Value> full_x(16, 0.0);
+    for (std::size_t i = 0; i < 4; ++i)
+        full_x[i] = x[i];
+    const std::vector<Value> expect = spmvRaw(g, full_x);
+    for (std::uint32_t c = 0; c < 16; ++c)
+        EXPECT_NEAR(y[c], expect[c], 0.01) << "column " << c;
+}
+
+TEST(GraphEngineTest, MacExactForIntegerData)
+{
+    DeviceParams params;
+    EnergyLedger ledger(params);
+    GraphEngineArray ge(4, 2, params, ledger);
+
+    std::vector<Edge> edges = {{0, 0, 3.0}, {1, 0, 5.0}, {2, 7, 2.0}};
+    ge.programTile(edges, 0, 0, 0);
+    const std::vector<double> x = {2.0, 10.0, 4.0, 0.0};
+    const std::vector<double> y = ge.runMac(x, 0, 0);
+    EXPECT_DOUBLE_EQ(y[0], 2.0 * 3.0 + 10.0 * 5.0);
+    EXPECT_DOUBLE_EQ(y[7], 4.0 * 2.0);
+    EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+TEST(GraphEngineTest, AddOpComputesRelaxation)
+{
+    DeviceParams params;
+    EnergyLedger ledger(params);
+    GraphEngineArray ge(4, 2, params, ledger);
+
+    // Row 1 has edges to columns 0 (w=5) and 6 (w=2).
+    std::vector<Edge> edges = {{1, 0, 5.0}, {1, 6, 2.0}, {2, 3, 9.0}};
+    ge.programTile(edges, 0, 0, 0);
+
+    const std::vector<double> cand = ge.runAddOp(1, 10.0, 0);
+    EXPECT_DOUBLE_EQ(cand[0], 15.0);
+    EXPECT_DOUBLE_EQ(cand[6], 12.0);
+    // Absent columns are "M" (infinity), even where other rows have
+    // edges.
+    EXPECT_TRUE(std::isinf(cand[3]));
+    EXPECT_TRUE(std::isinf(cand[1]));
+}
+
+TEST(GraphEngineTest, RowMaskMatchesEdges)
+{
+    DeviceParams params;
+    EnergyLedger ledger(params);
+    GraphEngineArray ge(4, 2, params, ledger);
+    std::vector<Edge> edges = {{1, 0, 1.0}, {1, 6, 1.0}, {3, 2, 1.0}};
+    ge.programTile(edges, 0, 0, 0);
+    const auto mask1 = ge.rowMask(1);
+    EXPECT_TRUE(mask1[0]);
+    EXPECT_TRUE(mask1[6]);
+    EXPECT_FALSE(mask1[2]);
+    const auto mask0 = ge.rowMask(0);
+    for (bool b : mask0)
+        EXPECT_FALSE(b);
+}
+
+TEST(GraphEngineTest, TileRelativeCoordinatesRespected)
+{
+    DeviceParams params;
+    EnergyLedger ledger(params);
+    GraphEngineArray ge(4, 2, params, ledger);
+    // Tile origin at (row0=8, col0=16).
+    std::vector<Edge> edges = {{9, 17, 4.0}};
+    ge.programTile(edges, 8, 16, 0);
+    const std::vector<double> y =
+        ge.runMac({0.0, 1.0, 0.0, 0.0}, 0, 0);
+    EXPECT_DOUBLE_EQ(y[1], 4.0);
+}
+
+TEST(GraphEngineTest, ReprogramOverwritesPreviousTile)
+{
+    DeviceParams params;
+    EnergyLedger ledger(params);
+    GraphEngineArray ge(4, 2, params, ledger);
+    std::vector<Edge> first = {{0, 0, 7.0}};
+    ge.programTile(first, 0, 0, 0);
+    std::vector<Edge> second = {{1, 1, 3.0}};
+    ge.programTile(second, 0, 0, 0);
+    const std::vector<double> y =
+        ge.runMac({1.0, 1.0, 1.0, 1.0}, 0, 0);
+    EXPECT_DOUBLE_EQ(y[0], 0.0); // old edge gone
+    EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(GraphEngineTest, ActivityAgreesWithTileMeta)
+{
+    // The functional programTile and the analytic TileMetaTable must
+    // count the same crossbars/rows: the cost model depends on it.
+    const CooGraph g =
+        makeRmat({.numVertices = 64, .numEdges = 600,
+                  .maxWeight = 15.0, .seed = 21});
+    TilingParams tp;
+    tp.crossbarDim = 4;
+    tp.crossbarsPerGe = 2;
+    tp.numGe = 2;
+    tp.blockSize = 32;
+    const GridPartition part(g.numVertices(), tp);
+    const OrderedEdgeList ordered(g, part);
+    const TileMetaTable table(ordered);
+
+    DeviceParams params;
+    EnergyLedger ledger(params);
+    GraphEngineArray ge(tp.crossbarDim,
+                        tp.crossbarsPerGe * tp.numGe, params, ledger);
+
+    ASSERT_EQ(table.tiles().size(), ordered.tiles().size());
+    for (std::size_t t = 0; t < table.tiles().size(); ++t) {
+        const TileMeta &meta = table.tiles()[t];
+        const TileSpan &span = ordered.tiles()[t];
+        const TileActivity act = ge.programTile(
+            ordered.tileEdges(span), meta.row0, meta.col0, 0);
+        EXPECT_EQ(act.crossbarsUsed, meta.crossbarsUsed);
+        EXPECT_EQ(act.maxRowsProgrammed, meta.maxRowsProgrammed);
+        EXPECT_EQ(act.cellWrites, meta.nnz);
+    }
+}
+
+TEST(GraphEngineTest, EnergyEventsAccumulate)
+{
+    DeviceParams params;
+    EnergyLedger ledger(params);
+    GraphEngineArray ge(4, 2, params, ledger);
+    std::vector<Edge> edges = {{0, 0, 1.0}, {1, 5, 1.0}};
+    ge.programTile(edges, 0, 0, 0);
+    ge.runMac({1.0, 1.0, 0.0, 0.0}, 0, 0);
+    const EnergyEvents &ev = ledger.events();
+    EXPECT_GT(ev.arrayWrites, 0u);
+    EXPECT_GT(ev.arrayReads, 0u);
+    EXPECT_GT(ev.adcSamples, 0u);
+    EXPECT_GT(ledger.totalJoules(), 0.0);
+}
+
+} // namespace
+} // namespace graphr

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for graph serialisation (text and binary round trips).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generator.hh"
+#include "graph/io.hh"
+
+namespace graphr
+{
+namespace
+{
+
+TEST(TextIoTest, RoundTripPreservesGraph)
+{
+    const CooGraph g = makeRmat({.numVertices = 100,
+                                 .numEdges = 800,
+                                 .maxWeight = 9.0,
+                                 .seed = 71});
+    std::stringstream buffer;
+    saveEdgeListText(g, buffer);
+    const CooGraph back = loadEdgeListText(buffer);
+    ASSERT_EQ(back.numVertices(), g.numVertices());
+    ASSERT_EQ(back.numEdges(), g.numEdges());
+    for (std::size_t i = 0; i < g.numEdges(); ++i)
+        EXPECT_EQ(back.edges()[i], g.edges()[i]);
+}
+
+TEST(TextIoTest, ParsesTwoColumnUnweighted)
+{
+    std::stringstream in("0 1\n1 2\n2 0\n");
+    const CooGraph g = loadEdgeListText(in);
+    EXPECT_EQ(g.numVertices(), 3u);
+    EXPECT_EQ(g.numEdges(), 3u);
+    for (const Edge &e : g.edges())
+        EXPECT_DOUBLE_EQ(e.weight, 1.0);
+}
+
+TEST(TextIoTest, SkipsCommentsAndBlankLines)
+{
+    std::stringstream in("# SNAP style header\n\n0 1 2.5\n# mid\n1 0\n");
+    const CooGraph g = loadEdgeListText(in);
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_DOUBLE_EQ(g.edges()[0].weight, 2.5);
+}
+
+TEST(TextIoTest, HonorsVertexCountHeader)
+{
+    std::stringstream in("# vertices: 50\n0 1\n");
+    const CooGraph g = loadEdgeListText(in);
+    EXPECT_EQ(g.numVertices(), 50u);
+}
+
+TEST(TextIoTest, VertexCountFromMaxIdWithoutHeader)
+{
+    std::stringstream in("3 9\n9 3\n");
+    const CooGraph g = loadEdgeListText(in);
+    EXPECT_EQ(g.numVertices(), 10u);
+}
+
+TEST(TextIoTest, MalformedLineIsFatal)
+{
+    std::stringstream in("0 1\nnot an edge\n");
+    EXPECT_EXIT(loadEdgeListText(in), ::testing::ExitedWithCode(1),
+                "malformed");
+}
+
+TEST(BinaryIoTest, RoundTripExact)
+{
+    const CooGraph g = makeRmat({.numVertices = 200,
+                                 .numEdges = 1500,
+                                 .maxWeight = 15.0,
+                                 .seed = 72});
+    std::stringstream buffer;
+    saveBinary(g, buffer);
+    const CooGraph back = loadBinary(buffer);
+    ASSERT_EQ(back.numVertices(), g.numVertices());
+    ASSERT_EQ(back.numEdges(), g.numEdges());
+    for (std::size_t i = 0; i < g.numEdges(); ++i)
+        EXPECT_EQ(back.edges()[i], g.edges()[i]);
+}
+
+TEST(BinaryIoTest, RejectsWrongMagic)
+{
+    std::stringstream in("NOPE....");
+    EXPECT_EXIT(loadBinary(in), ::testing::ExitedWithCode(1),
+                "not a GraphR");
+}
+
+TEST(BinaryIoTest, RejectsTruncatedFile)
+{
+    const CooGraph g = makeChain(8);
+    std::stringstream buffer;
+    saveBinary(g, buffer);
+    std::string bytes = buffer.str();
+    bytes.resize(bytes.size() / 2);
+    std::stringstream cut(bytes);
+    EXPECT_EXIT(loadBinary(cut), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(BinaryIoTest, EmptyGraphRoundTrips)
+{
+    const CooGraph g(5, {});
+    std::stringstream buffer;
+    saveBinary(g, buffer);
+    const CooGraph back = loadBinary(buffer);
+    EXPECT_EQ(back.numVertices(), 5u);
+    EXPECT_EQ(back.numEdges(), 0u);
+}
+
+TEST(FileIoTest, TextAndBinaryFilesWork)
+{
+    const CooGraph g = makeStar(16);
+    const std::string text_path = "/tmp/graphr_io_test.txt";
+    const std::string bin_path = "/tmp/graphr_io_test.bin";
+    saveEdgeListText(g, text_path);
+    saveBinary(g, bin_path);
+    const CooGraph t = loadEdgeListText(text_path);
+    const CooGraph b = loadBinary(bin_path);
+    EXPECT_EQ(t.numEdges(), g.numEdges());
+    EXPECT_EQ(b.numEdges(), g.numEdges());
+}
+
+} // namespace
+} // namespace graphr

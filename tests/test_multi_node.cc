@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the multi-node GraphR cluster model (paper section 3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.hh"
+#include "graphr/multi_node.hh"
+
+namespace graphr
+{
+namespace
+{
+
+CooGraph
+testGraph()
+{
+    return makeRmat(
+        {.numVertices = 8000, .numEdges = 64000, .seed = 91});
+}
+
+PageRankParams
+prParams()
+{
+    PageRankParams params;
+    params.maxIterations = 10;
+    params.tolerance = 0.0;
+    return params;
+}
+
+TEST(MultiNodeTest, SingleNodeHasNoCommunication)
+{
+    MultiNodeGraphR cluster(GraphRConfig{}, 1);
+    const MultiNodeReport rep =
+        cluster.runPageRank(testGraph(), prParams());
+    EXPECT_EQ(rep.numNodes, 1u);
+    EXPECT_DOUBLE_EQ(rep.commSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(rep.commJoules, 0.0);
+    EXPECT_GT(rep.seconds, 0.0);
+}
+
+TEST(MultiNodeTest, ComputePartScalesDown)
+{
+    const CooGraph g = testGraph();
+    const PageRankParams params = prParams();
+    const MultiNodeReport one =
+        MultiNodeGraphR(GraphRConfig{}, 1).runPageRank(g, params);
+    const MultiNodeReport four =
+        MultiNodeGraphR(GraphRConfig{}, 4).runPageRank(g, params);
+    // The slowest node's sweep must be well below the single-node
+    // sweep (stripes split the edges).
+    double one_max = 0.0;
+    double four_max = 0.0;
+    for (double s : one.nodeSweepSeconds)
+        one_max = std::max(one_max, s);
+    for (double s : four.nodeSweepSeconds)
+        four_max = std::max(four_max, s);
+    EXPECT_LT(four_max, one_max);
+    EXPECT_EQ(four.nodeSweepSeconds.size(), 4u);
+}
+
+TEST(MultiNodeTest, CommunicationGrowsWithNodes)
+{
+    const CooGraph g = testGraph();
+    const PageRankParams params = prParams();
+    const MultiNodeReport two =
+        MultiNodeGraphR(GraphRConfig{}, 2).runPageRank(g, params);
+    const MultiNodeReport eight =
+        MultiNodeGraphR(GraphRConfig{}, 8).runPageRank(g, params);
+    EXPECT_GT(eight.commJoules, two.commJoules);
+    EXPECT_GT(eight.commShare(), 0.0);
+}
+
+TEST(MultiNodeTest, EdgesPartitionedCompletely)
+{
+    // Every edge lands in exactly one stripe: summing per-node sweep
+    // energies with zero-width links reproduces total edge coverage.
+    const CooGraph g = testGraph();
+    const PageRankParams params = prParams();
+    LinkParams free_link;
+    free_link.energyPjPerByte = 0.0;
+    std::uint64_t stripe_edges = 0;
+    const std::uint32_t nodes = 4;
+    const std::uint64_t stripe =
+        (g.numVertices() + nodes - 1) / nodes;
+    for (const Edge &e : g.edges()) {
+        EXPECT_LT(e.dst / stripe, nodes);
+        ++stripe_edges;
+    }
+    EXPECT_EQ(stripe_edges, g.numEdges());
+    const MultiNodeReport rep =
+        MultiNodeGraphR(GraphRConfig{}, nodes, free_link)
+            .runPageRank(g, params);
+    EXPECT_GT(rep.joules, 0.0);
+}
+
+TEST(MultiNodeTest, SlowLinkDominatesAtHighNodeCount)
+{
+    const CooGraph g = testGraph();
+    const PageRankParams params = prParams();
+    LinkParams slow;
+    slow.bandwidthGBs = 0.0001;
+    const MultiNodeReport rep =
+        MultiNodeGraphR(GraphRConfig{}, 8, slow).runPageRank(g, params);
+    EXPECT_GT(rep.commShare(), 0.9);
+}
+
+TEST(MultiNodeTest, IterationCountMatchesGolden)
+{
+    const CooGraph g = testGraph();
+    PageRankParams params;
+    params.maxIterations = 7;
+    params.tolerance = 0.0;
+    const MultiNodeReport rep =
+        MultiNodeGraphR(GraphRConfig{}, 2).runPageRank(g, params);
+    EXPECT_EQ(rep.iterations, 7u);
+}
+
+} // namespace
+} // namespace graphr

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for weakly connected components: golden label propagation,
+ * the union-find reference, and the GraphR add-op mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "algorithms/wcc.hh"
+#include "graph/generator.hh"
+#include "graphr/node.hh"
+
+namespace graphr
+{
+namespace
+{
+
+TEST(WccTest, SingleChainIsOneComponent)
+{
+    const CooGraph g = makeChain(20);
+    const WccResult res = wcc(g);
+    EXPECT_EQ(res.numComponents, 1u);
+    for (VertexId v = 0; v < 20; ++v)
+        EXPECT_EQ(res.labels[v], 0u);
+}
+
+TEST(WccTest, DisconnectedPiecesCounted)
+{
+    // Two chains and one isolated vertex: 3 components.
+    CooGraph g(9, {});
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(3, 4);
+    g.addEdge(4, 5);
+    // vertices 6,7 joined; 8 isolated
+    g.addEdge(6, 7);
+    const WccResult res = wcc(g);
+    EXPECT_EQ(res.numComponents, 4u);
+    EXPECT_EQ(res.labels[2], 0u);
+    EXPECT_EQ(res.labels[5], 3u);
+    EXPECT_EQ(res.labels[7], 6u);
+    EXPECT_EQ(res.labels[8], 8u);
+}
+
+TEST(WccTest, DirectionIgnored)
+{
+    // 0 -> 1 and 2 -> 1: weak connectivity joins all three.
+    CooGraph g(3, {});
+    g.addEdge(0, 1);
+    g.addEdge(2, 1);
+    const WccResult res = wcc(g);
+    EXPECT_EQ(res.numComponents, 1u);
+}
+
+TEST(WccTest, MatchesUnionFindOnRandomGraphs)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+        const CooGraph g = makeRmat({.numVertices = 300,
+                                     .numEdges = 500, // sparse: many CCs
+                                     .seed = seed});
+        const WccResult lp = wcc(g);
+        const WccResult uf = wccUnionFind(g);
+        EXPECT_EQ(lp.numComponents, uf.numComponents) << "seed " << seed;
+        for (VertexId v = 0; v < g.numVertices(); ++v)
+            EXPECT_EQ(lp.labels[v], uf.labels[v])
+                << "seed " << seed << " vertex " << v;
+    }
+}
+
+TEST(WccTest, LabelsAreComponentMinima)
+{
+    const CooGraph g = makeRmat(
+        {.numVertices = 200, .numEdges = 400, .seed = 9});
+    const WccResult res = wcc(g);
+    // Property: every vertex's label is <= its own id and is itself
+    // labelled by itself (a component representative).
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        EXPECT_LE(res.labels[v], v);
+        EXPECT_EQ(res.labels[res.labels[v]], res.labels[v]);
+    }
+}
+
+TEST(SymmetrizeTest, AddsReverseEdges)
+{
+    CooGraph g(3, {});
+    g.addEdge(0, 1, 5.0);
+    g.addEdge(2, 2, 1.0); // self loop: not duplicated
+    const CooGraph sym = symmetrize(g);
+    EXPECT_EQ(sym.numEdges(), 3u);
+}
+
+TEST(WccGraphRTest, FunctionalMatchesGolden)
+{
+    const CooGraph g = makeRmat(
+        {.numVertices = 80, .numEdges = 150, .seed = 73});
+    GraphRConfig cfg;
+    cfg.tiling.crossbarDim = 4;
+    cfg.tiling.crossbarsPerGe = 2;
+    cfg.tiling.numGe = 2;
+    cfg.functional = true;
+    GraphRNode node(cfg);
+
+    std::vector<VertexId> labels;
+    const SimReport rep = node.runWcc(g, &labels);
+    const WccResult golden = wcc(g);
+    ASSERT_EQ(labels.size(), golden.labels.size());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_EQ(labels[v], golden.labels[v]) << "vertex " << v;
+    EXPECT_GT(rep.iterations, 0u);
+    EXPECT_EQ(rep.algorithm, "wcc");
+}
+
+TEST(WccGraphRTest, TimingModeReportsSchedule)
+{
+    const CooGraph g = makeRmat(
+        {.numVertices = 2000, .numEdges = 8000, .seed = 74});
+    GraphRNode node; // paper configuration, timing-only
+    std::vector<VertexId> labels;
+    const SimReport rep = node.runWcc(g, &labels);
+    EXPECT_GT(rep.seconds, 0.0);
+    EXPECT_GT(rep.joules, 0.0);
+    EXPECT_GT(rep.tilesProcessed, 0u);
+    const WccResult golden = wcc(g);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_EQ(labels[v], golden.labels[v]);
+}
+
+TEST(WccGraphRTest, ComponentCountOnGrid)
+{
+    // A grid is fully connected: one component.
+    const CooGraph g = makeGrid2d(8, 8);
+    GraphRNode node;
+    std::vector<VertexId> labels;
+    node.runWcc(g, &labels);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_EQ(labels[v], 0u);
+}
+
+} // namespace
+} // namespace graphr
