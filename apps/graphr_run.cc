@@ -1,0 +1,74 @@
+/**
+ * @file
+ * graphr_run: the unified workload-driver CLI.
+ *
+ * Runs any algorithm x backend x dataset combination from the driver
+ * registries and reports time/energy/work in text and JSON:
+ *
+ *   graphr_run --algo pagerank --backend graphr --dataset wiki-vote \
+ *              --scale 4 --out report.json
+ *   graphr_run --algo all --backend all \
+ *              --dataset rmat:vertices=4096,edges=32768 --matrix
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "driver/cli.hh"
+#include "driver/run_result.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace graphr::driver;
+
+    try {
+        const CliOptions opts =
+            parseCli(std::vector<std::string>(argv + 1, argv + argc));
+
+        if (opts.help) {
+            std::cout << usageText();
+            return 0;
+        }
+        if (opts.list) {
+            std::cout << listText();
+            return 0;
+        }
+
+        const std::vector<RunResult> results =
+            runSweep(opts.sweep, &std::cerr);
+
+        // With JSON going to stdout, keep stdout machine-readable and
+        // move the human-readable tables to stderr.
+        std::ostream &text =
+            opts.outPath == "-" ? std::cerr : std::cout;
+        text << "\n";
+        printResultsTable(text, results);
+        if (opts.matrix) {
+            text << "\n";
+            printMatrix(text, results);
+        }
+
+        if (!opts.outPath.empty()) {
+            if (opts.outPath == "-") {
+                writeResultsJson(std::cout, results);
+            } else {
+                std::ofstream out(opts.outPath);
+                if (out)
+                    writeResultsJson(out, results);
+                out.close();
+                if (!out) {
+                    std::cerr << "error: cannot write '"
+                              << opts.outPath << "'\n";
+                    return 1;
+                }
+                std::cerr << "wrote " << opts.outPath << "\n";
+            }
+        }
+        return 0;
+    } catch (const DriverError &err) {
+        std::cerr << "error: " << err.what() << "\n\n"
+                  << "run 'graphr_run --help' for usage\n";
+        return 1;
+    }
+}

@@ -19,6 +19,7 @@
 #include "algorithms/pagerank.hh"
 #include "baselines/cpu_model.hh"
 #include "common/table.hh"
+#include "driver/dataset.hh"
 #include "graph/datasets.hh"
 #include "graphr/node.hh"
 
@@ -43,11 +44,13 @@ graphDatasets()
     return ids;
 }
 
-/** Generate a dataset at its bench scale. */
+/** Generate a dataset at its bench scale (via the driver resolver). */
 inline CooGraph
 loadDataset(DatasetId id)
 {
-    return makeDataset(id, benchScale(id));
+    return driver::resolveDataset(datasetInfo(id).shortName,
+                                  benchScale(id))
+        .graph;
 }
 
 /** CF parameters for the Netflix workload (feature length 32). */

@@ -1,73 +1,60 @@
 /**
  * @file
- * Quickstart: run PageRank on a small graph through the GraphR
- * functional simulator and print the simulated time/energy report.
+ * Quickstart: run PageRank through the unified workload driver and
+ * print the simulated time/energy report.
  *
- * Demonstrates the minimal public API surface:
- *   CooGraph -> GraphRConfig -> GraphRNode -> SimReport.
+ * Demonstrates the driver surface every tool in this repo shares:
+ *   spec strings -> runOne()/runSweep() -> RunResult (text or JSON).
+ * The same combination is expressible from the CLI as
+ *   graphr_run --algo pagerank --backend graphr \
+ *              --dataset rmat:vertices=256,edges=2048,seed=7
  */
 
-#include <algorithm>
 #include <iostream>
-#include <vector>
 
-#include "algorithms/pagerank.hh"
-#include "graph/generator.hh"
-#include "graphr/node.hh"
+#include "driver/driver.hh"
+#include "driver/run_result.hh"
 
 int
 main()
 {
-    using namespace graphr;
+    using namespace graphr::driver;
 
-    // 1. Build a graph (here: a small scale-free R-MAT instance; any
-    //    edge list loaded into CooGraph works the same way).
-    const CooGraph graph = makeRmat({.numVertices = 256,
-                                     .numEdges = 2048,
-                                     .maxWeight = 1.0,
-                                     .seed = 7});
-    std::cout << "graph: |V| = " << graph.numVertices()
-              << ", |E| = " << graph.numEdges()
-              << ", density = " << graph.density() << "\n\n";
+    // 1. Name the combination: any registered workload and backend,
+    //    any dataset spec (Table-3 name, generator spec, or file).
+    RunSpec spec;
+    spec.workload = "pagerank";
+    spec.backend = "graphr";
+    spec.dataset = "rmat:vertices=256,edges=2048,seed=7";
+    spec.params = ParamMap::parse("damping=0.8,iterations=20");
 
-    // 2. Configure a GraphR node. We shrink the GE array so the
-    //    functional (bit-exact analog datapath) mode stays fast; the
-    //    default-constructed config is the paper's C=8, N=32, G=64.
-    GraphRConfig config;
-    config.tiling.crossbarDim = 8;
-    config.tiling.crossbarsPerGe = 4;
-    config.tiling.numGe = 4;
-    config.functional = true;
+    // 2. Use the bit-exact analog datapath with a small GE array (the
+    //    default-constructed config is the paper's C=8, N=32, G=64
+    //    timing model).
+    spec.backendOptions.config.tiling.crossbarDim = 8;
+    spec.backendOptions.config.tiling.crossbarsPerGe = 4;
+    spec.backendOptions.config.tiling.numGe = 4;
+    spec.backendOptions.config.functional = true;
 
-    // 3. Run PageRank on the accelerator.
-    GraphRNode node(config);
-    PageRankParams params;
-    params.maxIterations = 20;
-    std::vector<Value> ranks;
-    const SimReport report = node.runPageRank(graph, params, &ranks);
+    // 3. Run it.
+    const RunResult result = runOne(spec);
+    printResultsTable(std::cout, {result});
 
-    report.print(std::cout);
+    std::cout << "\nbreakdown:\n";
+    for (const auto &[name, value] : result.extra)
+        std::cout << "  " << name << " = " << value << "\n";
 
-    // 4. Inspect the result: top 5 vertices by rank.
-    std::vector<VertexId> order(graph.numVertices());
-    for (VertexId v = 0; v < graph.numVertices(); ++v)
-        order[v] = v;
-    std::sort(order.begin(), order.end(),
-              [&ranks](VertexId a, VertexId b) {
-                  return ranks[a] > ranks[b];
-              });
-    std::cout << "\ntop 5 vertices by PageRank:\n";
-    for (int i = 0; i < 5; ++i) {
-        std::cout << "  #" << i + 1 << "  vertex " << order[i]
-                  << "  rank " << ranks[order[i]] << "\n";
-    }
+    // 4. The same driver sweeps cross products: compare this graph
+    //    across the GraphR node and the CPU/GPU/PIM baselines.
+    SweepSpec sweep;
+    sweep.workloads = {"pagerank"};
+    sweep.backends = {"graphr", "cpu", "gpu", "pim"};
+    sweep.datasets = {spec.dataset};
+    // Same node configuration, so the graphr column matches part 3.
+    sweep.backendOptions = spec.backendOptions;
+    const std::vector<RunResult> results = runSweep(sweep);
 
-    // 5. Sanity: golden CPU PageRank agrees on the winner.
-    const PageRankResult golden = pagerank(graph, params);
-    std::cout << "\ngolden check: top vertex "
-              << (std::max_element(golden.ranks.begin(),
-                                   golden.ranks.end()) -
-                  golden.ranks.begin())
-              << "\n";
+    std::cout << "\npagerank across backends:\n";
+    printMatrix(std::cout, results);
     return 0;
 }

@@ -92,4 +92,15 @@ wccUnionFind(const CooGraph &graph)
     return result;
 }
 
+RelaxationSweep
+makeWccSweep(const CooGraph &sym_graph)
+{
+    std::vector<Value> labels(sym_graph.numVertices());
+    for (VertexId v = 0; v < sym_graph.numVertices(); ++v)
+        labels[v] = static_cast<Value>(v);
+    std::vector<bool> active(sym_graph.numVertices(), true);
+    return RelaxationSweep(sym_graph, std::move(labels),
+                           std::move(active), WeightMode::kZero);
+}
+
 } // namespace graphr

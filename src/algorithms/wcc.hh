@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "algorithms/traversal.hh"
 #include "graph/coo.hh"
 
 namespace graphr
@@ -41,6 +42,14 @@ WccResult wccUnionFind(const CooGraph &graph);
 
 /** Edges plus their reverses (weights preserved). */
 CooGraph symmetrize(const CooGraph &graph);
+
+/**
+ * The WCC relaxation over an already-symmetrised graph: every vertex
+ * starts active with its own id as label, weights enter as zero.
+ * Shared by every cost model that replays WCC rounds. The sweep
+ * references `sym_graph`, which must outlive it.
+ */
+RelaxationSweep makeWccSweep(const CooGraph &sym_graph);
 
 } // namespace graphr
 

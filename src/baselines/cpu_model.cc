@@ -1,6 +1,7 @@
 #include "cpu_model.hh"
 
 #include "algorithms/traversal.hh"
+#include "algorithms/wcc.hh"
 #include "common/logging.hh"
 #include "graph/csr.hh"
 
@@ -113,7 +114,7 @@ namespace
 {
 
 /**
- * Shared BFS/SSSP trace replay.
+ * Shared relaxation trace replay (BFS/SSSP/WCC).
  *
  * GridGraph is an edge-streaming system: an iteration streams whole
  * edge blocks and skips a block only when its entire source chunk is
@@ -123,18 +124,15 @@ namespace
  * check.
  */
 BaselineReport
-traversalTrace(const CooGraph &graph, VertexId source, bool unit_weights,
-               const char *name, const CpuParams &params,
-               const CpuModel &model)
+relaxationTrace(const CooGraph &graph, RelaxationSweep &sweep,
+                const char *name, const CpuParams &params)
 {
-    (void)model;
     BaselineReport report;
     report.platform = "cpu";
     report.algorithm = name;
 
     CsrGraph out(graph, CsrGraph::Direction::kOut);
     CacheHierarchy cache(params.cache);
-    RelaxationSweep sweep(graph, source, unit_weights);
 
     // GridGraph-style P x P grid: P chosen so a vertex chunk is
     // cache-resident; chunk = source range of one block row.
@@ -205,13 +203,23 @@ traversalTrace(const CooGraph &graph, VertexId source, bool unit_weights,
 BaselineReport
 CpuModel::runBfs(const CooGraph &graph, VertexId source)
 {
-    return traversalTrace(graph, source, true, "bfs", params_, *this);
+    RelaxationSweep sweep(graph, source, /*unit_weights=*/true);
+    return relaxationTrace(graph, sweep, "bfs", params_);
 }
 
 BaselineReport
 CpuModel::runSssp(const CooGraph &graph, VertexId source)
 {
-    return traversalTrace(graph, source, false, "sssp", params_, *this);
+    RelaxationSweep sweep(graph, source, /*unit_weights=*/false);
+    return relaxationTrace(graph, sweep, "sssp", params_);
+}
+
+BaselineReport
+CpuModel::runWcc(const CooGraph &graph)
+{
+    const CooGraph sym = symmetrize(graph);
+    RelaxationSweep sweep = makeWccSweep(sym);
+    return relaxationTrace(sym, sweep, "wcc", params_);
 }
 
 BaselineReport

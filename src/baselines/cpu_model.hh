@@ -70,6 +70,9 @@ class CpuModel
     /** SSSP from a source. */
     BaselineReport runSssp(const CooGraph &graph, VertexId source);
 
+    /** WCC by min-label propagation over the symmetrised graph. */
+    BaselineReport runWcc(const CooGraph &graph);
+
     /** CF training (GraphChi-style, per the paper's CPU setup). */
     BaselineReport runCf(const CooGraph &ratings, const CfParams &params);
 

@@ -1,7 +1,9 @@
 #include "gpu_model.hh"
 
 #include "algorithms/traversal.hh"
+#include "algorithms/wcc.hh"
 #include "common/logging.hh"
+#include "graph/csr.hh"
 
 namespace graphr
 {
@@ -77,8 +79,8 @@ namespace
 {
 
 BaselineReport
-gpuTraversal(const CooGraph &graph, VertexId source, bool unit_weights,
-             const char *name, const GpuParams &params)
+gpuRelaxation(const CooGraph &graph, RelaxationSweep &sweep,
+              const char *name, const GpuParams &params)
 {
     BaselineReport report;
     report.platform = "gpu";
@@ -87,7 +89,6 @@ gpuTraversal(const CooGraph &graph, VertexId source, bool unit_weights,
     // Replay the synchronous rounds to obtain per-round frontier and
     // edge volumes (Gunrock advance+filter).
     CsrGraph out(graph, CsrGraph::Direction::kOut);
-    RelaxationSweep sweep(graph, source, unit_weights);
     const double bw = params.memBandwidthGBs * 1e9 *
                       params.bandwidthEfficiency;
 
@@ -136,13 +137,23 @@ gpuTraversal(const CooGraph &graph, VertexId source, bool unit_weights,
 BaselineReport
 GpuModel::runBfs(const CooGraph &graph, VertexId source)
 {
-    return gpuTraversal(graph, source, true, "bfs", params_);
+    RelaxationSweep sweep(graph, source, /*unit_weights=*/true);
+    return gpuRelaxation(graph, sweep, "bfs", params_);
 }
 
 BaselineReport
 GpuModel::runSssp(const CooGraph &graph, VertexId source)
 {
-    return gpuTraversal(graph, source, false, "sssp", params_);
+    RelaxationSweep sweep(graph, source, /*unit_weights=*/false);
+    return gpuRelaxation(graph, sweep, "sssp", params_);
+}
+
+BaselineReport
+GpuModel::runWcc(const CooGraph &graph)
+{
+    const CooGraph sym = symmetrize(graph);
+    RelaxationSweep sweep = makeWccSweep(sym);
+    return gpuRelaxation(sym, sweep, "wcc", params_);
 }
 
 BaselineReport

@@ -71,6 +71,7 @@ class GpuModel
     BaselineReport runSpmv(const CooGraph &graph);
     BaselineReport runBfs(const CooGraph &graph, VertexId source);
     BaselineReport runSssp(const CooGraph &graph, VertexId source);
+    BaselineReport runWcc(const CooGraph &graph);
     BaselineReport runCf(const CooGraph &ratings, const CfParams &params);
 
   private:

@@ -1,6 +1,7 @@
 #include "pim_model.hh"
 
 #include "algorithms/traversal.hh"
+#include "algorithms/wcc.hh"
 #include "common/logging.hh"
 #include "graph/csr.hh"
 
@@ -69,16 +70,15 @@ namespace
 {
 
 BaselineReport
-pimTraversal(const CooGraph &graph, VertexId source, bool unit_weights,
-             const char *name, const PimModel &model,
-             const PimParams &params)
+pimRelaxation(const CooGraph &graph, RelaxationSweep &sweep,
+              const char *name, const PimModel &model,
+              const PimParams &params)
 {
     BaselineReport report;
     report.platform = "pim";
     report.algorithm = name;
 
     CsrGraph out(graph, CsrGraph::Direction::kOut);
-    RelaxationSweep sweep(graph, source, unit_weights);
     double seconds = 0.0;
     while (!sweep.done()) {
         const std::vector<bool> &active = sweep.active();
@@ -108,13 +108,23 @@ pimTraversal(const CooGraph &graph, VertexId source, bool unit_weights,
 BaselineReport
 PimModel::runBfs(const CooGraph &graph, VertexId source)
 {
-    return pimTraversal(graph, source, true, "bfs", *this, params_);
+    RelaxationSweep sweep(graph, source, /*unit_weights=*/true);
+    return pimRelaxation(graph, sweep, "bfs", *this, params_);
 }
 
 BaselineReport
 PimModel::runSssp(const CooGraph &graph, VertexId source)
 {
-    return pimTraversal(graph, source, false, "sssp", *this, params_);
+    RelaxationSweep sweep(graph, source, /*unit_weights=*/false);
+    return pimRelaxation(graph, sweep, "sssp", *this, params_);
+}
+
+BaselineReport
+PimModel::runWcc(const CooGraph &graph)
+{
+    const CooGraph sym = symmetrize(graph);
+    RelaxationSweep sweep = makeWccSweep(sym);
+    return pimRelaxation(sym, sweep, "wcc", *this, params_);
 }
 
 BaselineReport

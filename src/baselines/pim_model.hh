@@ -66,6 +66,7 @@ class PimModel
     BaselineReport runSpmv(const CooGraph &graph);
     BaselineReport runBfs(const CooGraph &graph, VertexId source);
     BaselineReport runSssp(const CooGraph &graph, VertexId source);
+    BaselineReport runWcc(const CooGraph &graph);
     BaselineReport runCf(const CooGraph &ratings, const CfParams &params);
 
     /** Seconds to process a batch of edge visits (exposed for tests). */

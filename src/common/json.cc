@@ -1,0 +1,219 @@
+#include "json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace graphr
+{
+
+JsonWriter::JsonWriter(std::ostream &os, int indent)
+    : os_(os), indent_(indent)
+{
+}
+
+JsonWriter::~JsonWriter()
+{
+    // A destructor must not throw/abort on a half-written document
+    // (exceptions may be unwinding); unfinished output is the
+    // caller's bug and shows up as invalid JSON downstream.
+}
+
+void
+JsonWriter::indentLine()
+{
+    if (indent_ <= 0)
+        return;
+    os_ << "\n";
+    os_ << std::string(stack_.size() * static_cast<std::size_t>(indent_),
+                       ' ');
+}
+
+void
+JsonWriter::separate()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // key() already emitted "name: "
+    }
+    if (stack_.empty())
+        return; // top-level value
+    GRAPHR_ASSERT(!stack_.back().isObject,
+                  "JSON object members need key() before value()");
+    if (stack_.back().hasItems)
+        os_ << ",";
+    stack_.back().hasItems = true;
+    indentLine();
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << "{";
+    stack_.push_back({/*isObject=*/true, /*hasItems=*/false});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    GRAPHR_ASSERT(!stack_.empty() && stack_.back().isObject,
+                  "endObject() without matching beginObject()");
+    const bool had_items = stack_.back().hasItems;
+    stack_.pop_back();
+    if (had_items)
+        indentLine();
+    os_ << "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << "[";
+    stack_.push_back({/*isObject=*/false, /*hasItems=*/false});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    GRAPHR_ASSERT(!stack_.empty() && !stack_.back().isObject,
+                  "endArray() without matching beginArray()");
+    const bool had_items = stack_.back().hasItems;
+    stack_.pop_back();
+    if (had_items)
+        indentLine();
+    os_ << "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    GRAPHR_ASSERT(!stack_.empty() && stack_.back().isObject,
+                  "key() is only valid inside an object");
+    GRAPHR_ASSERT(!pendingKey_, "key() twice without a value");
+    if (stack_.back().hasItems)
+        os_ << ",";
+    stack_.back().hasItems = true;
+    indentLine();
+    os_ << "\"" << escape(name) << "\":" << (indent_ > 0 ? " " : "");
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    separate();
+    os_ << "\"" << escape(v) << "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string_view(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    os_ << formatDouble(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    separate();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separate();
+    os_ << "null";
+    return *this;
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonWriter::formatDouble(double v)
+{
+    // JSON has no inf/nan literals; clamp to null-adjacent strings is
+    // worse than an explicit large sentinel, so emit them as strings.
+    if (std::isnan(v))
+        return "\"nan\"";
+    if (std::isinf(v))
+        return v > 0 ? "\"inf\"" : "\"-inf\"";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+} // namespace graphr

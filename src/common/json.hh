@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * The driver's report layer serialises RunResults to JSON; nothing in
+ * the repo needs parsing or a DOM, so this is a small push-style
+ * writer: begin/end nesting calls plus typed value emitters, with
+ * comma/indent bookkeeping handled internally. Doubles are formatted
+ * with "%.12g", which is deterministic for identical bit patterns —
+ * golden-file tests rely on that.
+ */
+
+#ifndef GRAPHR_COMMON_JSON_HH
+#define GRAPHR_COMMON_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphr
+{
+
+/** Push-style JSON emitter with pretty-printing. */
+class JsonWriter
+{
+  public:
+    /** @param indent spaces per nesting level (0 = compact). */
+    explicit JsonWriter(std::ostream &os, int indent = 2);
+
+    /** Emitter is done only when every container has been closed. */
+    ~JsonWriter();
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Object member key; must be followed by a value or container. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(std::string_view name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** Escape per RFC 8259 (quotes, backslash, control chars). */
+    static std::string escape(std::string_view s);
+
+    /** Deterministic double formatting ("%.12g"). */
+    static std::string formatDouble(double v);
+
+  private:
+    /** Comma/newline/indent before any value or key at this level. */
+    void separate();
+    void indentLine();
+
+    struct Level
+    {
+        bool isObject = false;
+        bool hasItems = false;
+    };
+
+    std::ostream &os_;
+    int indent_;
+    bool pendingKey_ = false;
+    std::vector<Level> stack_;
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_COMMON_JSON_HH

@@ -1,0 +1,149 @@
+#include "cli.hh"
+
+#include <sstream>
+
+namespace graphr::driver
+{
+
+namespace
+{
+
+/** Reuse ParamMap's strict typed parsing for a single flag value
+ *  (set(), not parse(), so commas in the value are not split). */
+ParamMap
+oneFlag(const std::string &flag, const std::string &value)
+{
+    ParamMap map;
+    map.set(flag, value);
+    return map;
+}
+
+} // namespace
+
+CliOptions
+parseCli(const std::vector<std::string> &args)
+{
+    CliOptions opts;
+    // The CLI defaults to a single cheap combination (the help text
+    // documents this); "all" is an explicit opt-in to the 6x6 sweep.
+    opts.sweep.workloads = {"pagerank"};
+    opts.sweep.backends = {"graphr"};
+    opts.sweep.datasets.clear();
+
+    auto next = [&args](std::size_t &i,
+                        const std::string &flag) -> const std::string & {
+        if (i + 1 >= args.size())
+            throw DriverError("flag " + flag + " needs a value");
+        return args[++i];
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--algo" || arg == "-a") {
+            opts.sweep.workloads = splitList(next(i, arg));
+            if (opts.sweep.workloads.empty())
+                throw DriverError("--algo got an empty list");
+        } else if (arg == "--backend" || arg == "-b") {
+            opts.sweep.backends = splitList(next(i, arg));
+            if (opts.sweep.backends.empty())
+                throw DriverError("--backend got an empty list");
+        } else if (arg == "--dataset" || arg == "-d") {
+            opts.sweep.datasets.push_back(next(i, arg));
+        } else if (arg == "--param" || arg == "-p") {
+            opts.sweep.params.merge(ParamMap::parse(next(i, arg)));
+        } else if (arg == "--scale") {
+            opts.sweep.scale =
+                oneFlag(arg, next(i, arg)).getDouble(arg, 1.0);
+            // Negated form so NaN is rejected too.
+            if (!(opts.sweep.scale >= 1.0))
+                throw DriverError("--scale must be >= 1");
+        } else if (arg == "--seed") {
+            opts.sweep.seed =
+                oneFlag(arg, next(i, arg)).getU64(arg, 42);
+        } else if (arg == "--nodes") {
+            const std::uint32_t n =
+                oneFlag(arg, next(i, arg)).getU32(arg, 4);
+            if (n == 0 || n > 65536)
+                throw DriverError("--nodes must be in [1, 65536]");
+            opts.sweep.backendOptions.numNodes = n;
+        } else if (arg == "--functional") {
+            opts.sweep.backendOptions.config.functional = true;
+        } else if (arg == "--out" || arg == "-o") {
+            opts.outPath = next(i, arg);
+        } else if (arg == "--matrix") {
+            opts.matrix = true;
+        } else if (arg == "--list") {
+            opts.list = true;
+        } else if (arg == "--help" || arg == "-h") {
+            opts.help = true;
+        } else {
+            throw DriverError("unknown flag '" + arg +
+                              "' (see --help)");
+        }
+    }
+
+    if (opts.sweep.datasets.empty()) {
+        // A sensible default keeps `graphr_run --algo pagerank`
+        // usable without memorising the spec grammar.
+        opts.sweep.datasets.push_back(
+            "rmat:vertices=1024,edges=8192");
+    }
+    return opts;
+}
+
+std::string
+usageText()
+{
+    std::ostringstream os;
+    os << "graphr_run — unified GraphR workload driver\n\n"
+       << "usage: graphr_run [flags]\n\n"
+       << "  --algo a[,b...]     workloads, or 'all' (default pagerank)\n"
+       << "  --backend a[,b...]  backends, or 'all' (default graphr)\n"
+       << "  --dataset spec      dataset; repeat the flag for several\n"
+       << "                      (default rmat:vertices=1024,edges=8192)\n"
+       << "  --param k=v         workload parameter (repeatable)\n"
+       << "  --scale f           Table-3 dataset scale divisor (>= 1)\n"
+       << "  --seed n            generator seed (default 42)\n"
+       << "  --nodes n           multinode cluster size (default 4)\n"
+       << "  --functional        bit-exact analog datapath (slow)\n"
+       << "  --out path          write JSON report ('-' = stdout)\n"
+       << "  --matrix            print workload x backend matrix\n"
+       << "  --list              list workloads/backends/datasets\n"
+       << "  --help              this text\n\n"
+       << "examples:\n"
+       << "  graphr_run --algo pagerank --backend graphr "
+          "--dataset wiki-vote --scale 4 --out report.json\n"
+       << "  graphr_run --algo all --backend all "
+          "--dataset rmat:vertices=4096,edges=32768 --matrix\n"
+       << "  graphr_run --algo sssp --backend outofcore "
+          "--dataset grid:width=64,height=64 --param source=0\n";
+    return os.str();
+}
+
+std::string
+listText()
+{
+    std::ostringstream os;
+    os << "workloads:\n";
+    for (const WorkloadInfo &info : allWorkloads()) {
+        os << "  " << info.name << " — " << info.description << " ["
+           << info.pattern << "]";
+        if (!info.paramKeys.empty()) {
+            os << " params:";
+            for (const std::string &k : info.paramKeys)
+                os << " " << k;
+        }
+        os << "\n";
+    }
+    os << "\nbackends:\n";
+    for (const std::string &name : allBackendNames())
+        os << "  " << name << "\n";
+    os << "\ndatasets (Table 3, generated at --scale):\n";
+    for (const std::string &name : knownDatasetNames())
+        os << "  " << name << "\n";
+    os << "\nplus generator specs (rmat: er: grid: chain: star: "
+          "complete: bipartite:) and file:<path> edge lists\n";
+    return os.str();
+}
+
+} // namespace graphr::driver

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Argument parsing for the graphr_run CLI.
+ *
+ * Kept out of the binary's main() so the parser is unit-testable:
+ * parseCli() maps an argv vector onto a SweepSpec plus output
+ * options, throwing DriverError on anything malformed.
+ */
+
+#ifndef GRAPHR_DRIVER_CLI_HH
+#define GRAPHR_DRIVER_CLI_HH
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "driver/driver.hh"
+
+namespace graphr::driver
+{
+
+/** Parsed graphr_run invocation. */
+struct CliOptions
+{
+    SweepSpec sweep;
+
+    /** Write the JSON report here ("" = no file, "-" = stdout). */
+    std::string outPath;
+    /** Print the workload x backend seconds matrix after a sweep. */
+    bool matrix = false;
+    /** List registries and exit. */
+    bool list = false;
+    /** Print usage and exit. */
+    bool help = false;
+
+    /** True when the spec names more than one combination. */
+    bool
+    isSweep() const
+    {
+        const auto has_all = [](const std::vector<std::string> &v) {
+            return std::find(v.begin(), v.end(), "all") != v.end();
+        };
+        return sweep.datasets.size() > 1 ||
+               sweep.workloads.size() > 1 ||
+               sweep.backends.size() > 1 || has_all(sweep.workloads) ||
+               has_all(sweep.backends);
+    }
+};
+
+/**
+ * Parse CLI arguments (argv without the program name).
+ *
+ * Flags:
+ *   --algo a[,b...]     workloads ("all" = whole registry)
+ *   --backend a[,b...]  backends ("all" = whole registry)
+ *   --dataset spec      dataset spec; repeat the flag for several
+ *                       (specs contain commas, so no comma-splitting)
+ *   --param k=v         workload parameter; repeatable
+ *   --scale f           Table-3 dataset scale divisor (>= 1)
+ *   --seed n            generator seed
+ *   --nodes n           cluster size for the multinode backend
+ *   --functional        run GraphR backends in functional mode
+ *   --out path          write the JSON report ("-" = stdout)
+ *   --matrix            print the workload x backend seconds matrix
+ *   --list              list workloads/backends/datasets and exit
+ *   --help              usage
+ */
+CliOptions parseCli(const std::vector<std::string> &args);
+
+/** Usage text for --help and error messages. */
+std::string usageText();
+
+/** Registry listing for --list. */
+std::string listText();
+
+} // namespace graphr::driver
+
+#endif // GRAPHR_DRIVER_CLI_HH

@@ -1,0 +1,105 @@
+#include "driver.hh"
+
+#include <algorithm>
+
+namespace graphr::driver
+{
+
+namespace
+{
+
+std::vector<std::string>
+expandNames(const std::vector<std::string> &names,
+            const std::vector<std::string> &registry,
+            const std::string &what)
+{
+    std::vector<std::string> out;
+    for (const std::string &name : names) {
+        if (name == "all") {
+            for (const std::string &r : registry) {
+                if (std::find(out.begin(), out.end(), r) == out.end())
+                    out.push_back(r);
+            }
+            continue;
+        }
+        if (std::find(registry.begin(), registry.end(), name) ==
+            registry.end()) {
+            std::string msg =
+                "unknown " + what + " '" + name + "' (known:";
+            for (const std::string &r : registry)
+                msg += " " + r;
+            msg += ")";
+            throw DriverError(msg);
+        }
+        if (std::find(out.begin(), out.end(), name) == out.end())
+            out.push_back(name);
+    }
+    if (out.empty())
+        throw DriverError("no " + what + " selected");
+    return out;
+}
+
+} // namespace
+
+std::vector<std::string>
+expandWorkloadNames(const std::vector<std::string> &names)
+{
+    return expandNames(names, allWorkloadNames(), "workload");
+}
+
+std::vector<std::string>
+expandBackendNames(const std::vector<std::string> &names)
+{
+    return expandNames(names, allBackendNames(), "backend");
+}
+
+RunResult
+runOne(const RunSpec &spec)
+{
+    const Workload workload = makeWorkload(spec.workload, spec.params);
+    const ResolvedDataset dataset =
+        resolveDataset(spec.dataset, spec.scale, spec.seed);
+    const std::unique_ptr<Backend> backend =
+        makeBackend(spec.backend, spec.backendOptions);
+    return backend->run(workload, dataset);
+}
+
+std::vector<RunResult>
+runSweep(const SweepSpec &spec, std::ostream *progress)
+{
+    if (spec.datasets.empty())
+        throw DriverError("sweep needs at least one dataset");
+
+    const std::vector<std::string> workload_names =
+        expandWorkloadNames(spec.workloads);
+    const std::vector<std::string> backend_names =
+        expandBackendNames(spec.backends);
+
+    // Validate every name and parse parameters before the first
+    // (possibly expensive) run.
+    std::vector<Workload> workloads;
+    for (const std::string &name : workload_names)
+        workloads.push_back(makeWorkload(name, spec.params));
+    std::vector<std::unique_ptr<Backend>> backends;
+    for (const std::string &name : backend_names)
+        backends.push_back(makeBackend(name, spec.backendOptions));
+
+    std::vector<RunResult> results;
+    for (const std::string &dataset_spec : spec.datasets) {
+        const ResolvedDataset dataset =
+            resolveDataset(dataset_spec, spec.scale, spec.seed);
+        for (const Workload &workload : workloads) {
+            for (const std::unique_ptr<Backend> &backend : backends) {
+                if (progress) {
+                    *progress << "running " << workload.name << " x "
+                              << backend->name() << " x "
+                              << dataset.name << " ..." << std::endl;
+                }
+                results.push_back(backend->run(workload, dataset));
+            }
+        }
+    }
+    return results;
+}
+
+} // namespace graphr::driver

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Top-level workload driver: one entry point for any
+ * algorithm x backend x dataset combination.
+ *
+ * runOne() executes a single combination; runSweep() cross-products
+ * name lists (the "all" wildcard expands to the full registry) and
+ * collects the unified results, which serialise to JSON or the text
+ * table/matrix formats (run_result.hh). The graphr_run CLI is a thin
+ * shell over these two calls, and benches/examples can use them
+ * instead of hand-wiring graph -> config -> backend -> report.
+ */
+
+#ifndef GRAPHR_DRIVER_DRIVER_HH
+#define GRAPHR_DRIVER_DRIVER_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "driver/backend.hh"
+
+namespace graphr::driver
+{
+
+/** One fully named run. */
+struct RunSpec
+{
+    std::string workload = "pagerank";
+    std::string backend = "graphr";
+    std::string dataset = "rmat:vertices=1024,edges=8192";
+    /** Workload key=value parameters (workload.hh). */
+    ParamMap params;
+    /** Scale divisor for Table-3 datasets. */
+    double scale = 1.0;
+    /** Generator seed for table/generator datasets. */
+    std::uint64_t seed = 42;
+    BackendOptions backendOptions;
+};
+
+/** Execute one combination. Throws DriverError on bad names/params. */
+RunResult runOne(const RunSpec &spec);
+
+/** A cross-product of runs. */
+struct SweepSpec
+{
+    /** Registry names; "all" anywhere expands to the whole registry. */
+    std::vector<std::string> workloads = {"all"};
+    std::vector<std::string> backends = {"all"};
+    /** Dataset specs (dataset.hh); resolved once each. */
+    std::vector<std::string> datasets;
+    ParamMap params;
+    double scale = 1.0;
+    std::uint64_t seed = 42;
+    BackendOptions backendOptions;
+};
+
+/**
+ * Run the full cross product, dataset-major. When `progress` is
+ * non-null a one-line status is streamed per run.
+ */
+std::vector<RunResult> runSweep(const SweepSpec &spec,
+                                std::ostream *progress = nullptr);
+
+/** Expand a name list: "all" -> registry, otherwise verify names. */
+std::vector<std::string>
+expandWorkloadNames(const std::vector<std::string> &names);
+std::vector<std::string>
+expandBackendNames(const std::vector<std::string> &names);
+
+} // namespace graphr::driver
+
+#endif // GRAPHR_DRIVER_DRIVER_HH

@@ -1,0 +1,218 @@
+#include "params.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace graphr::driver
+{
+
+std::vector<std::string>
+splitList(const std::string &text, char delim)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t end = text.find(delim, start);
+        const std::string part =
+            text.substr(start, end == std::string::npos
+                                   ? std::string::npos
+                                   : end - start);
+        if (!part.empty())
+            parts.push_back(part);
+        if (end == std::string::npos)
+            break;
+        start = end + 1;
+    }
+    return parts;
+}
+
+ParamMap
+ParamMap::parse(const std::string &text)
+{
+    ParamMap map;
+    if (text.empty())
+        return map;
+    for (const std::string &part : splitList(text, ',')) {
+        const std::size_t eq = part.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            throw DriverError("malformed parameter '" + part +
+                              "' (expected key=value)");
+        }
+        map.set(part.substr(0, eq), part.substr(eq + 1));
+    }
+    return map;
+}
+
+void
+ParamMap::set(const std::string &key, const std::string &value)
+{
+    for (Entry &e : entries_) {
+        if (e.key == key) {
+            e.value = value;
+            return;
+        }
+    }
+    entries_.push_back({key, value, false});
+}
+
+void
+ParamMap::merge(const ParamMap &other)
+{
+    for (const Entry &e : other.entries_)
+        set(e.key, e.value);
+}
+
+const ParamMap::Entry *
+ParamMap::find(const std::string &key) const
+{
+    for (const Entry &e : entries_) {
+        if (e.key == key) {
+            e.read = true;
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+bool
+ParamMap::has(const std::string &key) const
+{
+    for (const Entry &e : entries_) {
+        if (e.key == key)
+            return true;
+    }
+    return false;
+}
+
+std::string
+ParamMap::getString(const std::string &key, const std::string &def) const
+{
+    const Entry *e = find(key);
+    return e ? e->value : def;
+}
+
+double
+ParamMap::getDouble(const std::string &key, double def) const
+{
+    const Entry *e = find(key);
+    if (!e)
+        return def;
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(e->value.c_str(), &end);
+    if (end == e->value.c_str() || *end != '\0') {
+        throw DriverError("parameter '" + key + "': '" + e->value +
+                          "' is not a number");
+    }
+    if (errno == ERANGE && std::abs(v) == HUGE_VAL) {
+        throw DriverError("parameter '" + key + "': '" + e->value +
+                          "' is out of range");
+    }
+    return v;
+}
+
+std::int64_t
+ParamMap::getInt(const std::string &key, std::int64_t def) const
+{
+    const Entry *e = find(key);
+    if (!e)
+        return def;
+    char *end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(e->value.c_str(), &end, 10);
+    if (end == e->value.c_str() || *end != '\0') {
+        throw DriverError("parameter '" + key + "': '" + e->value +
+                          "' is not an integer");
+    }
+    if (errno == ERANGE) {
+        throw DriverError("parameter '" + key + "': '" + e->value +
+                          "' is out of range");
+    }
+    return v;
+}
+
+std::uint64_t
+ParamMap::getU64(const std::string &key, std::uint64_t def) const
+{
+    const std::int64_t v =
+        getInt(key, static_cast<std::int64_t>(def));
+    if (v < 0) {
+        throw DriverError("parameter '" + key +
+                          "' must be non-negative");
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+bool
+ParamMap::getBool(const std::string &key, bool def) const
+{
+    const Entry *e = find(key);
+    if (!e)
+        return def;
+    if (e->value == "true" || e->value == "1" || e->value == "yes")
+        return true;
+    if (e->value == "false" || e->value == "0" || e->value == "no")
+        return false;
+    throw DriverError("parameter '" + key + "': '" + e->value +
+                      "' is not a boolean");
+}
+
+std::int32_t
+ParamMap::getInt32(const std::string &key, std::int32_t def) const
+{
+    const std::int64_t v = getInt(key, def);
+    if (v < std::numeric_limits<std::int32_t>::min() ||
+        v > std::numeric_limits<std::int32_t>::max()) {
+        throw DriverError("parameter '" + key +
+                          "' is out of the 32-bit range");
+    }
+    return static_cast<std::int32_t>(v);
+}
+
+std::uint32_t
+ParamMap::getU32(const std::string &key, std::uint32_t def) const
+{
+    const std::uint64_t v = getU64(key, def);
+    if (v > std::numeric_limits<std::uint32_t>::max()) {
+        throw DriverError("parameter '" + key +
+                          "' is out of the 32-bit range");
+    }
+    return static_cast<std::uint32_t>(v);
+}
+
+std::vector<std::string>
+ParamMap::unreadKeys() const
+{
+    std::vector<std::string> out;
+    for (const Entry &e : entries_) {
+        if (!e.read)
+            out.push_back(e.key);
+    }
+    return out;
+}
+
+void
+ParamMap::rejectUnread(const std::string &context) const
+{
+    const std::vector<std::string> unread = unreadKeys();
+    if (unread.empty())
+        return;
+    std::string msg = "unknown parameter(s) for " + context + ":";
+    for (const std::string &k : unread)
+        msg += " '" + k + "'";
+    throw DriverError(msg);
+}
+
+std::vector<std::string>
+ParamMap::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        out.push_back(e.key);
+    return out;
+}
+
+} // namespace graphr::driver

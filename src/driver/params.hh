@@ -1,0 +1,105 @@
+/**
+ * @file
+ * key=value parameter maps for the workload driver.
+ *
+ * CLI flags like `--param damping=0.85` and spec strings like
+ * `rmat:vertices=1024,edges=8192` both reduce to a ParamMap: an
+ * ordered set of string key/value pairs with typed accessors. Reads
+ * are tracked so callers can reject unknown keys — a misspelled
+ * parameter must be an error, not a silently ignored default.
+ *
+ * Driver-layer user errors throw DriverError (instead of the
+ * simulator's GRAPHR_FATAL exit) so the CLI can print clean messages
+ * and tests can assert on the error paths.
+ */
+
+#ifndef GRAPHR_DRIVER_PARAMS_HH
+#define GRAPHR_DRIVER_PARAMS_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace graphr::driver
+{
+
+/** User-facing driver error (bad name, malformed spec, bad value). */
+class DriverError : public std::runtime_error
+{
+  public:
+    explicit DriverError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** Split on a delimiter, dropping empty parts ("a,,b" -> {a, b}). */
+std::vector<std::string> splitList(const std::string &text,
+                                   char delim = ',');
+
+/** Ordered key=value map with typed, consumption-tracked reads. */
+class ParamMap
+{
+  public:
+    ParamMap() = default;
+
+    /**
+     * Parse "k1=v1,k2=v2". Empty string yields an empty map.
+     * Throws DriverError on entries without '=' or with empty keys;
+     * duplicate keys: last one wins.
+     */
+    static ParamMap parse(const std::string &text);
+
+    /** Insert/overwrite one pair. */
+    void set(const std::string &key, const std::string &value);
+
+    /** Merge other's pairs over this map's. */
+    void merge(const ParamMap &other);
+
+    bool has(const std::string &key) const;
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+
+    /** Typed reads; return the default when the key is absent and
+     *  throw DriverError when the value does not parse. */
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+    double getDouble(const std::string &key, double def) const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    std::uint64_t getU64(const std::string &key, std::uint64_t def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /** Range-checked 32-bit reads (values that feed int/VertexId
+     *  fields); out-of-range values throw instead of wrapping. */
+    std::int32_t getInt32(const std::string &key, std::int32_t def) const;
+    std::uint32_t getU32(const std::string &key, std::uint32_t def) const;
+
+    /** Keys never read by any typed accessor, in insertion order. */
+    std::vector<std::string> unreadKeys() const;
+
+    /**
+     * Throw DriverError listing unread keys, if any. `context` names
+     * what was being parsed (e.g. "workload pagerank").
+     */
+    void rejectUnread(const std::string &context) const;
+
+    /** All keys in insertion order (read or not). */
+    std::vector<std::string> keys() const;
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::string value;
+        mutable bool read = false;
+    };
+
+    const Entry *find(const std::string &key) const;
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace graphr::driver
+
+#endif // GRAPHR_DRIVER_PARAMS_HH

@@ -1,0 +1,184 @@
+#include "run_result.hh"
+
+#include <algorithm>
+
+#include "baselines/baseline_report.hh"
+#include "common/json.hh"
+#include "common/table.hh"
+#include "graphr/multi_node.hh"
+#include "graphr/out_of_core.hh"
+#include "graphr/sim_report.hh"
+
+namespace graphr::driver
+{
+
+void
+RunResult::absorb(const SimReport &sim)
+{
+    seconds = sim.seconds;
+    joules = sim.joules;
+    iterations = sim.iterations;
+    edgesProcessed = sim.edgesProcessed;
+    addExtra("program_seconds", sim.programSeconds);
+    addExtra("compute_seconds", sim.computeSeconds);
+    addExtra("stream_seconds", sim.streamSeconds);
+    addExtra("tiles_processed",
+             static_cast<double>(sim.tilesProcessed));
+    addExtra("tiles_skipped", static_cast<double>(sim.tilesSkipped));
+    addExtra("occupancy", sim.occupancy);
+}
+
+void
+RunResult::absorb(const BaselineReport &baseline)
+{
+    seconds = baseline.seconds;
+    joules = baseline.joules;
+    iterations = baseline.iterations;
+    edgesProcessed = baseline.edgesProcessed;
+    addExtra("sequential_bytes",
+             static_cast<double>(baseline.sequentialBytes));
+    addExtra("random_accesses",
+             static_cast<double>(baseline.randomAccesses));
+    if (baseline.dramAccesses > 0)
+        addExtra("dram_accesses",
+                 static_cast<double>(baseline.dramAccesses));
+}
+
+void
+RunResult::absorb(const MultiNodeReport &multi)
+{
+    seconds = multi.seconds;
+    joules = multi.joules;
+    iterations = multi.iterations;
+    addExtra("num_nodes", static_cast<double>(multi.numNodes));
+    addExtra("comm_seconds", multi.commSeconds);
+    addExtra("comm_joules", multi.commJoules);
+    addExtra("comm_share", multi.commShare());
+    if (!multi.nodeSweepSeconds.empty()) {
+        const auto [lo, hi] =
+            std::minmax_element(multi.nodeSweepSeconds.begin(),
+                                multi.nodeSweepSeconds.end());
+        addExtra("sweep_seconds_min", *lo);
+        addExtra("sweep_seconds_max", *hi);
+    }
+}
+
+void
+RunResult::absorb(const OutOfCoreReport &ooc)
+{
+    seconds = ooc.totalSeconds;
+    joules = ooc.totalJoules;
+    iterations = ooc.node.iterations;
+    edgesProcessed = ooc.node.edgesProcessed;
+    addExtra("node_seconds", ooc.node.seconds);
+    addExtra("disk_seconds", ooc.diskSeconds);
+    addExtra("disk_joules", ooc.diskJoules);
+    addExtra("num_blocks", static_cast<double>(ooc.numBlocks));
+    addExtra("bytes_streamed",
+             static_cast<double>(ooc.bytesStreamed));
+}
+
+void
+RunResult::toJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("workload", workload);
+    w.field("backend", backend);
+    w.field("dataset", dataset);
+    w.field("vertices", vertices);
+    w.field("edges", edges);
+    w.field("seconds", seconds);
+    w.field("joules", joules);
+    w.field("iterations", iterations);
+    w.field("edges_processed", edgesProcessed);
+    if (!extra.empty()) {
+        w.key("extra");
+        w.beginObject();
+        for (const auto &[name, value] : extra)
+            w.field(name, value);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+void
+writeResultsJson(std::ostream &os, const std::vector<RunResult> &results)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("results");
+    w.beginArray();
+    for (const RunResult &r : results)
+        r.toJson(w);
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+void
+printResultsTable(std::ostream &os,
+                  const std::vector<RunResult> &results)
+{
+    TextTable table;
+    table.header({"workload", "backend", "dataset", "|V|", "|E|",
+                  "seconds", "joules", "iters"});
+    for (const RunResult &r : results) {
+        table.row({r.workload, r.backend, r.dataset,
+                   std::to_string(r.vertices), std::to_string(r.edges),
+                   TextTable::sci(r.seconds), TextTable::sci(r.joules),
+                   std::to_string(r.iterations)});
+    }
+    table.print(os);
+}
+
+void
+printMatrix(std::ostream &os, const std::vector<RunResult> &results)
+{
+    // One matrix per dataset; preserve first-seen order on all axes.
+    std::vector<std::string> datasets;
+    std::vector<std::string> workloads;
+    std::vector<std::string> backends;
+    for (const RunResult &r : results) {
+        if (std::find(datasets.begin(), datasets.end(), r.dataset) ==
+            datasets.end())
+            datasets.push_back(r.dataset);
+        if (std::find(workloads.begin(), workloads.end(), r.workload) ==
+            workloads.end())
+            workloads.push_back(r.workload);
+        if (std::find(backends.begin(), backends.end(), r.backend) ==
+            backends.end())
+            backends.push_back(r.backend);
+    }
+
+    bool first = true;
+    for (const std::string &d : datasets) {
+        if (!first)
+            os << "\n";
+        first = false;
+        if (datasets.size() > 1)
+            os << "dataset: " << d << "\n";
+
+        TextTable table;
+        std::vector<std::string> header = {"seconds"};
+        header.insert(header.end(), backends.begin(), backends.end());
+        table.header(header);
+        for (const std::string &w : workloads) {
+            std::vector<std::string> row = {w};
+            for (const std::string &b : backends) {
+                const auto it = std::find_if(
+                    results.begin(), results.end(),
+                    [&](const RunResult &r) {
+                        return r.workload == w && r.backend == b &&
+                               r.dataset == d;
+                    });
+                row.push_back(it == results.end()
+                                  ? std::string("-")
+                                  : TextTable::sci(it->seconds));
+            }
+            table.row(row);
+        }
+        table.print(os);
+    }
+}
+
+} // namespace graphr::driver

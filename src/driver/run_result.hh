@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unified result record for any (workload, backend, dataset) run.
+ *
+ * Every backend — the GraphR node, the multi-node cluster, the
+ * out-of-core runner and the CPU/GPU/PIM baselines — reduces its
+ * native report (SimReport, MultiNodeReport, OutOfCoreReport,
+ * BaselineReport) to this one shape: the headline time/energy/work
+ * numbers all backends share, plus an ordered list of named extra
+ * metrics for backend-specific detail. Serialises to JSON
+ * (common/json) and to the common/table text format.
+ */
+
+#ifndef GRAPHR_DRIVER_RUN_RESULT_HH
+#define GRAPHR_DRIVER_RUN_RESULT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace graphr
+{
+class JsonWriter;
+struct SimReport;
+struct BaselineReport;
+struct MultiNodeReport;
+struct OutOfCoreReport;
+} // namespace graphr
+
+namespace graphr::driver
+{
+
+/** Outcome of one driver run. */
+struct RunResult
+{
+    std::string workload;
+    std::string backend;
+    std::string dataset;
+
+    std::uint64_t vertices = 0;
+    std::uint64_t edges = 0;
+
+    double seconds = 0.0;
+    double joules = 0.0;
+    std::uint64_t iterations = 0;
+    std::uint64_t edgesProcessed = 0;
+
+    /** Backend-specific metrics, in emission order. */
+    std::vector<std::pair<std::string, double>> extra;
+
+    void
+    addExtra(const std::string &name, double value)
+    {
+        extra.emplace_back(name, value);
+    }
+
+    /** Fold a backend-native report into the shared fields. */
+    void absorb(const SimReport &sim);
+    void absorb(const BaselineReport &baseline);
+    void absorb(const MultiNodeReport &multi);
+    void absorb(const OutOfCoreReport &ooc);
+
+    /** Emit as one JSON object. */
+    void toJson(JsonWriter &w) const;
+};
+
+/**
+ * Write a whole result set as a JSON document:
+ * {"results": [...]} with one object per run.
+ */
+void writeResultsJson(std::ostream &os,
+                      const std::vector<RunResult> &results);
+
+/** Aligned text table, one row per result (common/table format). */
+void printResultsTable(std::ostream &os,
+                       const std::vector<RunResult> &results);
+
+/**
+ * Table-2-style matrix: one row per workload, one column per backend,
+ * cells are simulated seconds ("-" where no result exists).
+ */
+void printMatrix(std::ostream &os,
+                 const std::vector<RunResult> &results);
+
+} // namespace graphr::driver
+
+#endif // GRAPHR_DRIVER_RUN_RESULT_HH

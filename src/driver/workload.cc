@@ -1,0 +1,144 @@
+#include "workload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphr::driver
+{
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    static const std::vector<WorkloadInfo> table = {
+        {WorkloadKind::kSpmv, "spmv",
+         "one sparse matrix-vector pass y = A^T x", "parallel MAC",
+         {}},
+        {WorkloadKind::kPageRank, "pagerank",
+         "PageRank with dangling-mass redistribution", "parallel MAC",
+         {"damping (0.8)", "iterations (20)", "tolerance (1e-6)"}},
+        {WorkloadKind::kBfs, "bfs", "BFS levels from a source",
+         "parallel add-op", {"source (0)"}},
+        {WorkloadKind::kSssp, "sssp",
+         "single-source shortest paths (Bellman-Ford rounds)",
+         "parallel add-op", {"source (0)"}},
+        {WorkloadKind::kWcc, "wcc",
+         "weakly connected components by min-label propagation",
+         "parallel add-op", {}},
+        {WorkloadKind::kCf, "cf",
+         "collaborative filtering (matrix factorisation) training",
+         "parallel MAC",
+         {"features (32)", "epochs (5)", "users (bipartite split)",
+          "lr (0.01)", "reg (0.05)", "cf_seed (11)"}},
+    };
+    return table;
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const WorkloadInfo &info : allWorkloads())
+        names.push_back(info.name);
+    return names;
+}
+
+const WorkloadInfo &
+findWorkload(const std::string &name)
+{
+    for (const WorkloadInfo &info : allWorkloads()) {
+        if (info.name == name)
+            return info;
+    }
+    std::string msg = "unknown workload '" + name + "' (known:";
+    for (const WorkloadInfo &info : allWorkloads())
+        msg += " " + info.name;
+    msg += ")";
+    throw DriverError(msg);
+}
+
+namespace
+{
+
+/**
+ * Every key any workload understands. A sweep applies one ParamMap to
+ * several workloads, so a key belonging to a different workload is
+ * tolerated; a key belonging to none is always an error.
+ */
+const std::vector<std::string> &
+allParamKeys()
+{
+    static const std::vector<std::string> keys = {
+        "damping", "iterations", "tolerance", // pagerank
+        "source",                             // bfs/sssp
+        "features", "epochs", "users", "lr", "reg",
+        "cf_seed", // cf
+    };
+    return keys;
+}
+
+} // namespace
+
+Workload
+makeWorkload(const std::string &name, const ParamMap &params)
+{
+    const WorkloadInfo &info = findWorkload(name);
+
+    for (const std::string &key : params.keys()) {
+        const std::vector<std::string> &known = allParamKeys();
+        if (std::find(known.begin(), known.end(), key) == known.end()) {
+            std::string msg = "unknown parameter '" + key +
+                              "' (known:";
+            for (const std::string &k : known)
+                msg += " " + k;
+            msg += ")";
+            throw DriverError(msg);
+        }
+    }
+
+    Workload w;
+    w.kind = info.kind;
+    w.name = info.name;
+
+    switch (info.kind) {
+      case WorkloadKind::kPageRank:
+        w.params.pagerank.damping =
+            params.getDouble("damping", w.params.pagerank.damping);
+        w.params.pagerank.maxIterations = params.getInt32(
+            "iterations", w.params.pagerank.maxIterations);
+        w.params.pagerank.tolerance =
+            params.getDouble("tolerance", w.params.pagerank.tolerance);
+        if (w.params.pagerank.maxIterations <= 0)
+            throw DriverError("pagerank iterations must be positive");
+        // Negated forms so NaN is rejected too.
+        if (!(w.params.pagerank.damping > 0.0 &&
+              w.params.pagerank.damping < 1.0))
+            throw DriverError("pagerank damping must be in (0, 1)");
+        if (std::isnan(w.params.pagerank.tolerance))
+            throw DriverError("pagerank tolerance must be a number");
+        break;
+      case WorkloadKind::kBfs:
+      case WorkloadKind::kSssp:
+        w.params.source = params.getU32("source", 0);
+        break;
+      case WorkloadKind::kCf:
+        w.params.cf.featureLength =
+            params.getInt32("features", w.params.cf.featureLength);
+        w.params.cf.epochs =
+            params.getInt32("epochs", w.params.cf.epochs);
+        w.params.cf.numUsers = params.getU32("users", 0);
+        w.params.cf.learningRate =
+            params.getDouble("lr", w.params.cf.learningRate);
+        w.params.cf.regularization =
+            params.getDouble("reg", w.params.cf.regularization);
+        w.params.cf.seed = params.getU64("cf_seed", w.params.cf.seed);
+        if (w.params.cf.featureLength <= 0 || w.params.cf.epochs <= 0)
+            throw DriverError("cf features/epochs must be positive");
+        break;
+      case WorkloadKind::kSpmv:
+      case WorkloadKind::kWcc:
+        break;
+    }
+    return w;
+}
+
+} // namespace graphr::driver

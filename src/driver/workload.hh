@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Workload registry: the algorithms a backend can be asked to run.
+ *
+ * Covers the paper's five application classes (Table 2): PageRank and
+ * SpMV (parallel MAC), BFS and SSSP (parallel add-op traversal), WCC
+ * (add-op label propagation) and collaborative filtering (MAC over
+ * the rating matrix). Each workload owns a small parameter struct
+ * populated from key=value strings; unknown keys are an error.
+ */
+
+#ifndef GRAPHR_DRIVER_WORKLOAD_HH
+#define GRAPHR_DRIVER_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "algorithms/collaborative_filtering.hh"
+#include "algorithms/pagerank.hh"
+#include "common/types.hh"
+#include "driver/params.hh"
+
+namespace graphr::driver
+{
+
+/** The algorithm families the driver can dispatch. */
+enum class WorkloadKind
+{
+    kPageRank,
+    kSpmv,
+    kBfs,
+    kSssp,
+    kWcc,
+    kCf,
+};
+
+/** Registry row for one workload. */
+struct WorkloadInfo
+{
+    WorkloadKind kind;
+    std::string name;        ///< CLI name, e.g. "pagerank"
+    std::string description; ///< one-line summary
+    std::string pattern;     ///< "parallel MAC" / "parallel add-op"
+    /** Documented key=value parameters, "key (default)" form. */
+    std::vector<std::string> paramKeys;
+};
+
+/**
+ * Parameters for one workload execution. Only the members matching
+ * the kind are meaningful.
+ */
+struct WorkloadParams
+{
+    PageRankParams pagerank; ///< pagerank: damping/iterations/tolerance
+    CfParams cf;             ///< cf: features/epochs/users/lr/reg/seed
+    VertexId source = 0;     ///< bfs/sssp: source vertex
+};
+
+/** A fully resolved workload request. */
+struct Workload
+{
+    WorkloadKind kind = WorkloadKind::kPageRank;
+    std::string name;
+    WorkloadParams params;
+};
+
+/** All registered workloads, in Table-2 order. */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/** Registry names, in order ("pagerank", "spmv", ...). */
+std::vector<std::string> allWorkloadNames();
+
+/** Lookup by name; throws DriverError listing valid names. */
+const WorkloadInfo &findWorkload(const std::string &name);
+
+/**
+ * Build a Workload from a name and key=value parameters. Keys no
+ * registered workload understands throw DriverError; keys belonging
+ * to a *different* workload are tolerated, because a sweep applies
+ * one parameter map across several workloads.
+ */
+Workload makeWorkload(const std::string &name, const ParamMap &params);
+
+} // namespace graphr::driver
+
+#endif // GRAPHR_DRIVER_WORKLOAD_HH

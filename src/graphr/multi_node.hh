@@ -16,6 +16,7 @@
 #ifndef GRAPHR_GRAPHR_MULTI_NODE_HH
 #define GRAPHR_GRAPHR_MULTI_NODE_HH
 
+#include <functional>
 #include <vector>
 
 #include "algorithms/pagerank.hh"
@@ -69,7 +70,43 @@ class MultiNodeGraphR
     MultiNodeReport runPageRank(const CooGraph &graph,
                                 const PageRankParams &params);
 
+    /** One SpMV pass (a single parallel sweep + all-gather). */
+    MultiNodeReport runSpmv(const CooGraph &graph);
+
+    /**
+     * Add-op workloads (BFS/SSSP/WCC): round count from the golden
+     * run; each round every node sweeps its stripe and the updated
+     * labels are all-gathered. Charging a full stripe sweep per round
+     * is a conservative bound — sparse-frontier rounds touch fewer
+     * tiles.
+     */
+    MultiNodeReport runBfs(const CooGraph &graph, VertexId source);
+    MultiNodeReport runSssp(const CooGraph &graph, VertexId source);
+    MultiNodeReport runWcc(const CooGraph &graph);
+
+    /**
+     * CF training: per epoch each node runs the GraphRNode CF tile
+     * schedule (one MVM pass per feature) over its rating stripe and
+     * the factor rows are all-gathered (featureLength properties per
+     * vertex).
+     */
+    MultiNodeReport runCf(const CooGraph &ratings, const CfParams &params);
+
   private:
+    /** Cost of one sweep over one node's stripe subgraph. */
+    using SweepFn =
+        std::function<SimReport(GraphRNode &, const CooGraph &)>;
+
+    /**
+     * Shared cost core: `iterations` rounds, each charging one
+     * parallel stripe sweep (costed by `sweep_fn`) and one all-gather
+     * of `props_per_vertex` properties per vertex.
+     */
+    MultiNodeReport runSweeps(const CooGraph &graph,
+                              std::uint64_t iterations,
+                              const SweepFn &sweep_fn,
+                              double props_per_vertex);
+
     /** Edges of node k (destinations within its stripe). */
     std::vector<Edge> stripeEdges(const CooGraph &graph,
                                   std::uint32_t node) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "algorithms/traversal.hh"
+#include "algorithms/wcc.hh"
 #include "common/logging.hh"
 #include "graph/partition.hh"
 
@@ -28,34 +29,33 @@ OutOfCoreRunner::streamSeconds(std::uint64_t bytes,
 }
 
 OutOfCoreReport
-OutOfCoreRunner::runPageRank(const CooGraph &graph,
-                             const PageRankParams &params)
+OutOfCoreRunner::sequentialSweeps(const CooGraph &graph,
+                                  SimReport node_report) const
 {
-    GraphRNode node(config_);
     OutOfCoreReport report;
-    report.node = node.runPageRank(graph, params);
+    report.node = std::move(node_report);
 
     const GridPartition part(graph.numVertices(), config_.tiling);
     report.numBlocks = part.numBlocks();
 
     // Every iteration streams the whole ordered edge list once.
+    const std::uint64_t iterations =
+        std::max<std::uint64_t>(report.node.iterations, 1);
     const std::uint64_t bytes_per_iter =
         graph.numEdges() * config_.bytesPerEdge;
-    report.bytesStreamed = bytes_per_iter * report.node.iterations;
+    report.bytesStreamed = bytes_per_iter * iterations;
     const double disk_per_iter =
         streamSeconds(bytes_per_iter, part.numBlocks());
     report.diskSeconds =
-        disk_per_iter * static_cast<double>(report.node.iterations);
+        disk_per_iter * static_cast<double>(iterations);
 
     // The sequential order lets the framework prefetch block i+1
     // while the node processes block i: per-iteration cost is the
     // max of the two streams.
     const double node_per_iter =
-        report.node.seconds /
-        static_cast<double>(report.node.iterations);
-    report.totalSeconds =
-        std::max(node_per_iter, disk_per_iter) *
-        static_cast<double>(report.node.iterations);
+        report.node.seconds / static_cast<double>(iterations);
+    report.totalSeconds = std::max(node_per_iter, disk_per_iter) *
+                          static_cast<double>(iterations);
 
     report.diskJoules = static_cast<double>(report.bytesStreamed) *
                         storage_.energyPjPerByte * 1e-12;
@@ -64,11 +64,35 @@ OutOfCoreRunner::runPageRank(const CooGraph &graph,
 }
 
 OutOfCoreReport
-OutOfCoreRunner::runSssp(const CooGraph &graph, VertexId source)
+OutOfCoreRunner::runPageRank(const CooGraph &graph,
+                             const PageRankParams &params)
 {
     GraphRNode node(config_);
+    return sequentialSweeps(graph, node.runPageRank(graph, params));
+}
+
+OutOfCoreReport
+OutOfCoreRunner::runSpmv(const CooGraph &graph,
+                         const std::vector<Value> &x)
+{
+    GraphRNode node(config_);
+    return sequentialSweeps(graph, node.runSpmv(graph, x));
+}
+
+OutOfCoreReport
+OutOfCoreRunner::runCf(const CooGraph &ratings, const CfParams &params)
+{
+    GraphRNode node(config_);
+    return sequentialSweeps(ratings, node.runCf(ratings, params));
+}
+
+OutOfCoreReport
+OutOfCoreRunner::selectiveRounds(const CooGraph &graph,
+                                 SimReport node_report,
+                                 RelaxationSweep &sweep) const
+{
     OutOfCoreReport report;
-    report.node = node.runSssp(graph, source);
+    report.node = std::move(node_report);
 
     const GridPartition part(graph.numVertices(), config_.tiling);
     report.numBlocks = part.numBlocks();
@@ -81,7 +105,6 @@ OutOfCoreRunner::runSssp(const CooGraph &graph, VertexId source)
 
     // Replay the rounds; a block-row is streamed when any of its
     // sources is active.
-    RelaxationSweep sweep(graph, source, /*unit_weights=*/false);
     while (!sweep.done()) {
         const std::vector<bool> &active = sweep.active();
         for (std::uint64_t row = 0; row < part.blocksPerDim(); ++row) {
@@ -106,6 +129,35 @@ OutOfCoreRunner::runSssp(const CooGraph &graph, VertexId source)
                         storage_.energyPjPerByte * 1e-12;
     report.totalJoules = report.node.joules + report.diskJoules;
     return report;
+}
+
+OutOfCoreReport
+OutOfCoreRunner::runBfs(const CooGraph &graph, VertexId source)
+{
+    GraphRNode node(config_);
+    SimReport sim = node.runBfs(graph, source);
+    RelaxationSweep sweep(graph, source, /*unit_weights=*/true);
+    return selectiveRounds(graph, std::move(sim), sweep);
+}
+
+OutOfCoreReport
+OutOfCoreRunner::runSssp(const CooGraph &graph, VertexId source)
+{
+    GraphRNode node(config_);
+    SimReport sim = node.runSssp(graph, source);
+    RelaxationSweep sweep(graph, source, /*unit_weights=*/false);
+    return selectiveRounds(graph, std::move(sim), sweep);
+}
+
+OutOfCoreReport
+OutOfCoreRunner::runWcc(const CooGraph &graph)
+{
+    GraphRNode node(config_);
+    SimReport sim = node.runWcc(graph);
+
+    const CooGraph sym = symmetrize(graph);
+    RelaxationSweep sweep = makeWccSweep(sym);
+    return selectiveRounds(sym, std::move(sim), sweep);
 }
 
 } // namespace graphr

@@ -64,17 +64,47 @@ class OutOfCoreRunner
     OutOfCoreReport runPageRank(const CooGraph &graph,
                                 const PageRankParams &params);
 
+    /** One out-of-core SpMV pass (a single full stream). */
+    OutOfCoreReport runSpmv(const CooGraph &graph,
+                            const std::vector<Value> &x);
+
     /**
-     * Out-of-core SSSP: per round only blocks whose source range
+     * Out-of-core BFS/SSSP: per round only blocks whose source range
      * intersects the active set are streamed (GridGraph's 2-level
      * selective scheduling, which GraphR inherits).
      */
+    OutOfCoreReport runBfs(const CooGraph &graph, VertexId source);
     OutOfCoreReport runSssp(const CooGraph &graph, VertexId source);
+
+    /**
+     * Out-of-core WCC: selective rounds over the symmetrised edge
+     * set (all sources start active; activity decays as labels
+     * converge).
+     */
+    OutOfCoreReport runWcc(const CooGraph &graph);
+
+    /** Out-of-core CF (every rating block streamed every epoch). */
+    OutOfCoreReport runCf(const CooGraph &ratings, const CfParams &params);
 
     const GraphRConfig &config() const { return config_; }
     const StorageParams &storage() const { return storage_; }
 
   private:
+    /**
+     * Full-stream schedule: every iteration of the node report
+     * streams the whole ordered edge list once (PageRank/SpMV/CF).
+     */
+    OutOfCoreReport sequentialSweeps(const CooGraph &graph,
+                                     SimReport node_report) const;
+
+    /**
+     * Selective schedule: replay the relaxation rounds and stream a
+     * block-row only when one of its sources is active (BFS/SSSP/WCC).
+     */
+    OutOfCoreReport selectiveRounds(const CooGraph &graph,
+                                    SimReport node_report,
+                                    RelaxationSweep &sweep) const;
+
     /** Disk time for one load of the given byte volume. */
     double streamSeconds(std::uint64_t bytes,
                          std::uint64_t block_switches) const;

@@ -15,6 +15,8 @@
 namespace graphr
 {
 
+class JsonWriter;
+
 /** Timing and energy outcome of a GraphR run. */
 struct SimReport
 {
@@ -44,6 +46,9 @@ struct SimReport
 
     /** Human-readable dump. */
     void print(std::ostream &os) const;
+
+    /** Emit the report as one JSON object on the writer. */
+    void toJson(JsonWriter &w) const;
 };
 
 } // namespace graphr

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the minimal JSON writer (common/json).
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "common/json.hh"
+
+namespace graphr
+{
+namespace
+{
+
+TEST(JsonWriterTest, EmptyObjectAndArray)
+{
+    std::ostringstream obj;
+    JsonWriter(obj).beginObject().endObject();
+    EXPECT_EQ(obj.str(), "{}");
+
+    std::ostringstream arr;
+    JsonWriter(arr).beginArray().endArray();
+    EXPECT_EQ(arr.str(), "[]");
+}
+
+TEST(JsonWriterTest, CompactObject)
+{
+    std::ostringstream oss;
+    JsonWriter w(oss, /*indent=*/0);
+    w.beginObject();
+    w.field("a", std::uint64_t{1});
+    w.field("b", "x");
+    w.field("c", true);
+    w.key("d").null();
+    w.endObject();
+    EXPECT_EQ(oss.str(), "{\"a\":1,\"b\":\"x\",\"c\":true,\"d\":null}");
+}
+
+TEST(JsonWriterTest, PrettyNesting)
+{
+    std::ostringstream oss;
+    JsonWriter w(oss, /*indent=*/2);
+    w.beginObject();
+    w.key("list");
+    w.beginArray();
+    w.value(std::uint64_t{1});
+    w.value(std::uint64_t{2});
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(oss.str(), "{\n  \"list\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(JsonWriterTest, ArrayOfObjects)
+{
+    std::ostringstream oss;
+    JsonWriter w(oss, /*indent=*/0);
+    w.beginArray();
+    w.beginObject().field("i", 0).endObject();
+    w.beginObject().field("i", 1).endObject();
+    w.endArray();
+    EXPECT_EQ(oss.str(), "[{\"i\":0},{\"i\":1}]");
+}
+
+TEST(JsonWriterTest, EscapesStrings)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(JsonWriter::escape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(JsonWriter::escape(std::string_view("a\x01z", 3)),
+              "a\\u0001z");
+}
+
+TEST(JsonWriterTest, FormatDoubleDeterministic)
+{
+    EXPECT_EQ(JsonWriter::formatDouble(0.0), "0");
+    EXPECT_EQ(JsonWriter::formatDouble(1.5), "1.5");
+    EXPECT_EQ(JsonWriter::formatDouble(1e-9), "1e-09");
+    EXPECT_EQ(JsonWriter::formatDouble(1.0 / 3.0), "0.333333333333");
+    // Non-finite values are emitted as strings (JSON has no inf/nan).
+    EXPECT_EQ(JsonWriter::formatDouble(
+                  std::numeric_limits<double>::infinity()),
+              "\"inf\"");
+    EXPECT_EQ(JsonWriter::formatDouble(
+                  std::numeric_limits<double>::quiet_NaN()),
+              "\"nan\"");
+}
+
+TEST(JsonWriterTest, NegativeNumbers)
+{
+    std::ostringstream oss;
+    JsonWriter w(oss, 0);
+    w.beginArray();
+    w.value(std::int64_t{-3});
+    w.value(-2.5);
+    w.endArray();
+    EXPECT_EQ(oss.str(), "[-3,-2.5]");
+}
+
+} // namespace
+} // namespace graphr
