@@ -16,6 +16,7 @@
 
 #include "driver/cli.hh"
 #include "driver/run_result.hh"
+#include "graphr/config.hh"
 
 int
 main(int argc, char **argv)
@@ -69,6 +70,10 @@ main(int argc, char **argv)
     } catch (const DriverError &err) {
         std::cerr << "error: " << err.what() << "\n\n"
                   << "run 'graphr_run --help' for usage\n";
+        return 1;
+    } catch (const graphr::ConfigError &err) {
+        // Backend construction validates GraphRConfig (config.hh).
+        std::cerr << "error: " << err.what() << "\n";
         return 1;
     }
 }

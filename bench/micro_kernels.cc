@@ -11,6 +11,7 @@
 #include "common/random.hh"
 #include "graph/generator.hh"
 #include "graph/preprocess.hh"
+#include "graphr/engine/plan_cache.hh"
 #include "graphr/node.hh"
 #include "graphr/tile_meta.hh"
 #include "rram/crossbar.hh"
@@ -78,6 +79,73 @@ BM_TileMeta(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * edges);
 }
 BENCHMARK(BM_TileMeta)->Arg(10000)->Arg(100000);
+
+void
+BM_PlanPrepareCold(benchmark::State &state)
+{
+    // Cost of a cache miss: fingerprint + partition + O(E log E)
+    // sort + tile-meta extraction.
+    const auto edges = static_cast<EdgeId>(state.range(0));
+    const CooGraph g = makeRmat({.numVertices =
+                                     static_cast<VertexId>(edges / 8),
+                                 .numEdges = edges,
+                                 .seed = 5});
+    const TilingParams tiling;
+    for (auto _ : state) {
+        PlanCache::instance().clear();
+        benchmark::DoNotOptimize(PlanCache::instance().get(g, tiling));
+    }
+    state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_PlanPrepareCold)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void
+BM_PlanCacheHit(benchmark::State &state)
+{
+    // Cost of a cache hit: fingerprint + lookup. The gap to
+    // BM_PlanPrepareCold is what every re-run/backend saves.
+    const auto edges = static_cast<EdgeId>(state.range(0));
+    const CooGraph g = makeRmat({.numVertices =
+                                     static_cast<VertexId>(edges / 8),
+                                 .numEdges = edges,
+                                 .seed = 5});
+    const TilingParams tiling;
+    PlanCache::instance().get(g, tiling);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(PlanCache::instance().get(g, tiling));
+    }
+    state.SetItemsProcessed(state.iterations() * edges);
+    PlanCache::instance().clear();
+}
+BENCHMARK(BM_PlanCacheHit)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void
+BM_FunctionalPageRank(benchmark::State &state)
+{
+    // Functional wall-clock, reprogram-per-sweep (arg 0) vs resident
+    // weights (arg 1, ProgramCharging::kOnce programs each tile once
+    // per run and replays the stored crossbar state afterwards).
+    GraphRConfig cfg;
+    cfg.tiling.crossbarDim = 8;
+    cfg.tiling.crossbarsPerGe = 4;
+    cfg.tiling.numGe = 4;
+    cfg.functional = true;
+    cfg.programCharging = state.range(0) != 0
+                              ? ProgramCharging::kOnce
+                              : ProgramCharging::kPerSweep;
+    const CooGraph g = makeRmat(
+        {.numVertices = 512, .numEdges = 4096, .seed = 6});
+    GraphRNode node(cfg);
+    PageRankParams params;
+    params.maxIterations = 10;
+    params.tolerance = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(node.runPageRank(g, params).seconds);
+    }
+    state.SetItemsProcessed(state.iterations() * g.numEdges() * 10);
+    state.SetLabel(state.range(0) != 0 ? "resident" : "reprogram");
+}
+BENCHMARK(BM_FunctionalPageRank)->Arg(0)->Arg(1);
 
 void
 BM_NodePageRankSweep(benchmark::State &state)

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Small thread-safe keyed LRU used by the engine's PlanCache and the
+ * driver's golden-result cache.
+ *
+ * Values are shared_ptrs: eviction never invalidates a value a caller
+ * still holds. Capacity is small by design — cached values (tile
+ * plans, golden rank vectors) are memory-heavy for large graphs.
+ * Builds happen under the lock, serialising concurrent misses for
+ * the same key into one build; the simulator is effectively
+ * single-threaded per process, so the simplicity wins.
+ */
+
+#ifndef GRAPHR_COMMON_LRU_CACHE_HH
+#define GRAPHR_COMMON_LRU_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace graphr
+{
+
+/** Hit/miss counters of one cache since construction or clear(). */
+struct LruCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+/** LRU map Key -> shared_ptr<const Value> with build-on-miss. */
+template <typename Key, typename Value, typename Hash>
+class LruCache
+{
+  public:
+    using ValuePtr = std::shared_ptr<const Value>;
+
+    explicit LruCache(std::size_t capacity)
+        : capacity_(capacity > 0 ? capacity : 1)
+    {
+    }
+
+    /**
+     * Return the cached value for @p key, building it with
+     * @p factory() on a miss. @p cache_hit, when non-null, reports
+     * whether the value was reused.
+     */
+    template <typename Factory>
+    ValuePtr
+    getOrBuild(const Key &key, Factory &&factory,
+               bool *cache_hit = nullptr)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            ++stats_.hits;
+            if (cache_hit != nullptr)
+                *cache_hit = true;
+            return it->second->second;
+        }
+        ValuePtr value = factory();
+        lru_.emplace_front(key, value);
+        index_.emplace(key, lru_.begin());
+        ++stats_.misses;
+        evictOverflow();
+        if (cache_hit != nullptr)
+            *cache_hit = false;
+        return value;
+    }
+
+    /** Drop every entry and reset the statistics. */
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        lru_.clear();
+        index_.clear();
+        stats_ = LruCacheStats{};
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return lru_.size();
+    }
+
+    /** Change capacity (>= 1), evicting LRU entries if shrinking. */
+    void
+    setCapacity(std::size_t capacity)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        capacity_ = capacity > 0 ? capacity : 1;
+        evictOverflow();
+    }
+
+    LruCacheStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
+    }
+
+  private:
+    using LruList = std::list<std::pair<Key, ValuePtr>>;
+
+    void
+    evictOverflow() ///< caller holds mutex_
+    {
+        while (lru_.size() > capacity_) {
+            index_.erase(lru_.back().first);
+            lru_.pop_back();
+        }
+    }
+
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    LruList lru_; ///< front = most recently used
+    std::unordered_map<Key, typename LruList::iterator, Hash> index_;
+    LruCacheStats stats_;
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_COMMON_LRU_CACHE_HH

@@ -1,6 +1,7 @@
 #include "backend.hh"
 
 #include "algorithms/pagerank.hh"
+#include "driver/golden_cache.hh"
 #include "graphr/node.hh"
 
 namespace graphr::driver
@@ -220,10 +221,12 @@ runBaseline(Model &model, const std::string &backend_name,
     const CooGraph &graph = dataset.graph;
     switch (workload.kind) {
       case WorkloadKind::kPageRank: {
-        const PageRankResult golden =
-            pagerank(graph, workload.params.pagerank);
+        // Cached: a `--backend all` sweep computes the golden
+        // iteration count once, not once per baseline backend.
+        const std::shared_ptr<const PageRankResult> golden =
+            cachedGoldenPageRank(graph, workload.params.pagerank);
         result.absorb(model.runPageRank(
-            graph, static_cast<std::uint64_t>(golden.iterations)));
+            graph, static_cast<std::uint64_t>(golden->iterations)));
         break;
       }
       case WorkloadKind::kSpmv:

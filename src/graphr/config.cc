@@ -1,0 +1,51 @@
+#include "config.hh"
+
+#include <string>
+
+#include "common/fixed_point.hh"
+
+namespace graphr
+{
+
+namespace
+{
+
+[[noreturn]] void
+reject(const std::string &what)
+{
+    throw ConfigError("invalid GraphRConfig: " + what);
+}
+
+} // namespace
+
+void
+GraphRConfig::validate() const
+{
+    if (tiling.crossbarDim == 0)
+        reject("crossbarDim must be >= 1");
+    if (tiling.crossbarDim > 64) {
+        reject("crossbarDim " + std::to_string(tiling.crossbarDim) +
+               " exceeds 64: per-tile row activity is tracked in a "
+               "64-bit row mask");
+    }
+    if (tiling.crossbarsPerGe == 0)
+        reject("crossbarsPerGe must be >= 1");
+    if (tiling.numGe == 0)
+        reject("numGe must be >= 1");
+    if (weightFracBits < 0 || weightFracBits > kValueBits) {
+        reject("weightFracBits " + std::to_string(weightFracBits) +
+               " outside [0, " + std::to_string(kValueBits) + "]");
+    }
+    if (inputFracBits < 0 || inputFracBits > kValueBits) {
+        reject("inputFracBits " + std::to_string(inputFracBits) +
+               " outside [0, " + std::to_string(kValueBits) + "]");
+    }
+    if (bytesPerEdge == 0)
+        reject("bytesPerEdge must be >= 1");
+    if (variationSigma < 0.0)
+        reject("variationSigma must be >= 0");
+    if (iterationOverheadNs < 0.0)
+        reject("iterationOverheadNs must be >= 0");
+}
+
+} // namespace graphr

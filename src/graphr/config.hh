@@ -6,11 +6,23 @@
 #ifndef GRAPHR_GRAPHR_CONFIG_HH
 #define GRAPHR_GRAPHR_CONFIG_HH
 
+#include <stdexcept>
+
 #include "graph/partition.hh"
 #include "rram/device_params.hh"
 
 namespace graphr
 {
+
+/**
+ * Invalid GraphRConfig. Thrown (instead of GRAPHR_FATAL exiting) so
+ * drivers can report cleanly and tests can assert on the error path.
+ */
+class ConfigError : public std::invalid_argument
+{
+  public:
+    using std::invalid_argument::invalid_argument;
+};
 
 /**
  * When crossbar programming (and the matching memory-ReRAM edge
@@ -76,6 +88,16 @@ struct GraphRConfig
     /** Cell programming variation sigma in level units (0 = exact). */
     double variationSigma = 0.0;
     std::uint64_t variationSeed = 99;
+
+    /**
+     * Reject impossible configurations with a ConfigError. Every
+     * runner (GraphRNode, MultiNodeGraphR, OutOfCoreRunner) validates
+     * at construction. In particular crossbarDim is capped at 64:
+     * tile row activity is packed into a uint64_t bitmask
+     * (TileMeta::rowMask), so larger crossbars would shift out of
+     * range — undefined behaviour, not just a wrong answer.
+     */
+    void validate() const;
 };
 
 } // namespace graphr

@@ -1,0 +1,40 @@
+#include "plan_cache.hh"
+
+namespace graphr
+{
+
+PlanCache &
+PlanCache::instance()
+{
+    static PlanCache cache;
+    return cache;
+}
+
+std::size_t
+PlanCache::KeyHash::operator()(const Key &key) const
+{
+    // The fingerprint is already well mixed; fold the tiling in.
+    std::uint64_t h = key.fingerprint;
+    h ^= (static_cast<std::uint64_t>(key.crossbarDim) << 0) ^
+         (static_cast<std::uint64_t>(key.crossbarsPerGe) << 16) ^
+         (static_cast<std::uint64_t>(key.numGe) << 32) ^
+         (static_cast<std::uint64_t>(key.blockSize) << 48);
+    h *= 0x9e3779b97f4a7c15ull;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+}
+
+TilePlanPtr
+PlanCache::get(const CooGraph &graph, const TilingParams &tiling,
+               bool *cache_hit)
+{
+    const Key key{graphFingerprint(graph), tiling.crossbarDim,
+                  tiling.crossbarsPerGe, tiling.numGe, tiling.blockSize};
+    return cache_.getOrBuild(
+        key,
+        [&graph, &tiling] {
+            return std::make_shared<const TilePlan>(graph, tiling);
+        },
+        cache_hit);
+}
+
+} // namespace graphr

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Process-wide memoisation of TilePlans.
+ *
+ * The paper's preprocessing is performed once per graph and reused
+ * for every subsequent run; the simulator mirrors that by caching
+ * plans keyed by (graph fingerprint, tiling parameters). A
+ * `--backend all` sweep that runs six algorithms across the GraphR
+ * family then prepares each (graph, tiling) exactly once instead of
+ * once per run, and repeated bench iterations hit the cache instead
+ * of re-paying the O(E log E) sort.
+ */
+
+#ifndef GRAPHR_GRAPHR_ENGINE_PLAN_CACHE_HH
+#define GRAPHR_GRAPHR_ENGINE_PLAN_CACHE_HH
+
+#include <cstddef>
+
+#include "common/lru_cache.hh"
+#include "graphr/engine/tile_plan.hh"
+
+namespace graphr
+{
+
+/** LRU cache of TilePlans keyed by (graph fingerprint, tiling). */
+class PlanCache
+{
+  public:
+    using Stats = LruCacheStats;
+
+    explicit PlanCache(std::size_t capacity = kDefaultCapacity)
+        : cache_(capacity)
+    {
+    }
+
+    /** The shared process-wide instance every runner uses. */
+    static PlanCache &instance();
+
+    /**
+     * Look up (or build and insert) the plan for a graph under the
+     * given tiling. @p cache_hit, when non-null, reports whether the
+     * plan was reused.
+     */
+    TilePlanPtr get(const CooGraph &graph, const TilingParams &tiling,
+                    bool *cache_hit = nullptr);
+
+    /** Drop every entry and reset the statistics. */
+    void clear() { cache_.clear(); }
+
+    /** Cached plan count. */
+    std::size_t size() const { return cache_.size(); }
+
+    /** Change capacity (>= 1), evicting LRU entries if shrinking. */
+    void setCapacity(std::size_t capacity)
+    {
+        cache_.setCapacity(capacity);
+    }
+
+    Stats stats() const { return cache_.stats(); }
+
+    /**
+     * Default entry count: enough for a full `--backend all` sweep on
+     * one dataset (graph + symmetrised graph + the multinode stripes
+     * and their symmetrised variants) without thrashing.
+     */
+    static constexpr std::size_t kDefaultCapacity = 32;
+
+  private:
+    struct Key
+    {
+        std::uint64_t fingerprint = 0;
+        std::uint32_t crossbarDim = 0;
+        std::uint32_t crossbarsPerGe = 0;
+        std::uint32_t numGe = 0;
+        std::uint32_t blockSize = 0;
+
+        bool operator==(const Key &other) const = default;
+    };
+
+    struct KeyHash
+    {
+        std::size_t operator()(const Key &key) const;
+    };
+
+    LruCache<Key, TilePlan, KeyHash> cache_;
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_GRAPHR_ENGINE_PLAN_CACHE_HH

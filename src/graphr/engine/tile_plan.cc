@@ -1,0 +1,49 @@
+#include "tile_plan.hh"
+
+#include <bit>
+
+namespace graphr
+{
+
+TilePlan::TilePlan(const CooGraph &graph, const TilingParams &tiling)
+    : partition(graph.numVertices(), tiling),
+      ordered(graph, partition), meta(ordered),
+      fingerprint(graphFingerprint(graph))
+{
+}
+
+namespace
+{
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/** Mix one 64-bit word into an FNV-1a state, byte by byte. */
+inline std::uint64_t
+fnvMix(std::uint64_t h, std::uint64_t word)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (word >> (8 * i)) & 0xffu;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+graphFingerprint(const CooGraph &graph)
+{
+    std::uint64_t h = kFnvOffset;
+    h = fnvMix(h, graph.numVertices());
+    h = fnvMix(h, graph.numEdges());
+    for (const Edge &e : graph.edges()) {
+        h = fnvMix(h, (static_cast<std::uint64_t>(e.src) << 32) |
+                          static_cast<std::uint64_t>(e.dst));
+        h = fnvMix(h, std::bit_cast<std::uint64_t>(
+                          static_cast<double>(e.weight)));
+    }
+    return h;
+}
+
+} // namespace graphr

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * TilePlan: the immutable product of streaming-apply preprocessing.
+ *
+ * GraphR preprocesses a graph once (offline, in software — paper
+ * section 3.4): grid-partition the adjacency matrix, sort the COO
+ * edge list into streaming-apply tile order (O(E log E)) and extract
+ * the per-tile activity metadata the cost model consumes. Every
+ * execution layer — single node, multi-node stripes, out-of-core
+ * blocks, driver sweeps — walks the same three products, so they are
+ * bundled here as one shareable, immutable plan. PlanCache
+ * (plan_cache.hh) memoises plans per (graph fingerprint, tiling) so
+ * repeated runs stop redoing the sort.
+ */
+
+#ifndef GRAPHR_GRAPHR_ENGINE_TILE_PLAN_HH
+#define GRAPHR_GRAPHR_ENGINE_TILE_PLAN_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/coo.hh"
+#include "graph/partition.hh"
+#include "graph/preprocess.hh"
+#include "graphr/tile_meta.hh"
+
+namespace graphr
+{
+
+/**
+ * Preprocessing products shared by all tile-walking runners. Built
+ * once per (graph, tiling); treated as immutable afterwards so one
+ * instance can be shared across runs and backends.
+ */
+struct TilePlan
+{
+    GridPartition partition;
+    OrderedEdgeList ordered;
+    TileMetaTable meta;
+    /** Fingerprint of the graph the plan was built from. */
+    std::uint64_t fingerprint = 0;
+
+    TilePlan(const CooGraph &graph, const TilingParams &tiling);
+};
+
+/** Plans are shared (cache + concurrent runners): ref-counted const. */
+using TilePlanPtr = std::shared_ptr<const TilePlan>;
+
+/**
+ * Order-sensitive 64-bit FNV-1a fingerprint of a graph (vertex count,
+ * edge count, every edge's endpoints and weight bits). O(E), which is
+ * the price of a cache lookup — cheap next to the O(E log E) sort it
+ * avoids on a hit.
+ */
+std::uint64_t graphFingerprint(const CooGraph &graph);
+
+} // namespace graphr
+
+#endif // GRAPHR_GRAPHR_ENGINE_TILE_PLAN_HH

@@ -14,6 +14,7 @@ MultiNodeGraphR::MultiNodeGraphR(const GraphRConfig &config,
                                  const LinkParams &link)
     : config_(config), numNodes_(num_nodes), link_(link)
 {
+    config_.validate();
     GRAPHR_ASSERT(numNodes_ > 0, "need at least one node");
 }
 

@@ -1,152 +1,44 @@
 #include "node.hh"
 
-#include <algorithm>
-#include <bit>
 #include <cmath>
+#include <utility>
 
 #include "algorithms/spmv.hh"
 #include "algorithms/traversal.hh"
 #include "algorithms/wcc.hh"
 #include "common/logging.hh"
-#include "rram/graph_engine.hh"
+#include "graphr/engine/plan_cache.hh"
 
 namespace graphr
 {
 
-/** Preprocessing products shared by all algorithm drivers. */
-struct GraphRNode::Prepared
-{
-    GridPartition partition;
-    OrderedEdgeList ordered;
-    TileMetaTable meta;
-
-    Prepared(const CooGraph &graph, const TilingParams &tiling)
-        : partition(graph.numVertices(), tiling),
-          ordered(graph, partition), meta(ordered)
-    {
-    }
-};
-
 namespace
 {
 
-/** Bitmask of active rows [row0, row0 + dim) from an active vector. */
-std::uint64_t
-activeMask(const std::vector<bool> &active, std::uint64_t row0,
-           std::uint32_t dim)
+/** Validate before any member uses the configuration. */
+GraphRConfig
+validated(GraphRConfig config)
 {
-    std::uint64_t mask = 0;
-    const std::uint64_t nv = active.size();
-    for (std::uint32_t r = 0; r < dim; ++r) {
-        const std::uint64_t v = row0 + r;
-        if (v < nv && active[v])
-            mask |= std::uint64_t{1} << r;
-    }
-    return mask;
-}
-
-/** Price accumulated events and fill the shared report fields. */
-void
-finalizeReport(SimReport &report, const DeviceParams &device,
-               const EnergyEvents &events)
-{
-    EnergyLedger ledger(device);
-    ledger.events() = events;
-    report.events = events;
-    report.energy = ledger.breakdown();
-    // Peripheral (ADC/driver/controller) active power over busy time.
-    report.energy.peripheral =
-        device.peripheralActiveWatts * report.seconds;
-    report.joules = report.energy.total();
+    config.validate();
+    return config;
 }
 
 } // namespace
 
 GraphRNode::GraphRNode(GraphRConfig config)
-    : config_(config), costModel_(config)
+    : config_(validated(std::move(config)))
 {
 }
 
-GraphRNode::Prepared
-GraphRNode::prepare(const CooGraph &graph) const
+TileExecutor
+GraphRNode::makeExecutor(const CooGraph &graph)
 {
-    return Prepared(graph, config_.tiling);
-}
-
-SimReport
-GraphRNode::runMacSweeps(const Prepared &prep, std::uint64_t sweeps,
-                         std::uint32_t passes_per_tile, const char *name)
-{
-    SimReport report;
-    report.algorithm = name;
-    report.iterations = sweeps;
-    report.occupancy = prep.ordered.occupancy();
-
-    // One pass over the tile table yields both the per-sweep compute
-    // phase and the programming/streaming (load) phase; the charging
-    // policy decides whether the latter repeats per sweep.
-    EnergyEvents tile_events;
-    double load_ns = 0.0;       // program+stream phase, one sweep
-    double compute_ns = 0.0;    // evaluation phase, one sweep
-    double combined_ns = 0.0;   // all phases fused (kPerSweep)
-    double prog_ns = 0.0;
-    double stream_ns = 0.0;
-    for (const TileMeta &meta : prep.meta.tiles()) {
-        const TileCost cost =
-            costModel_.macTile(meta, tile_events, passes_per_tile);
-        prog_ns += cost.programNs;
-        stream_ns += cost.streamNs;
-        compute_ns += cost.computeNs;
-        combined_ns += cost.totalNs(config_.pipelineTiles);
-        load_ns += config_.pipelineTiles
-                       ? std::max(cost.overlappedProgramNs,
-                                  cost.streamNs)
-                       : cost.programNs + cost.streamNs;
-    }
-
-    const double sweeps_d = static_cast<double>(sweeps);
-    const double overhead_ns =
-        costModel_.iterationOverheadNs() * sweeps_d;
-    const bool once = config_.programCharging == ProgramCharging::kOnce;
-
-    double total_ns = 0.0;
-    if (once) {
-        total_ns = load_ns + compute_ns * sweeps_d + overhead_ns;
-        report.programSeconds = prog_ns * 1e-9;
-        report.streamSeconds = stream_ns * 1e-9;
-    } else {
-        total_ns = combined_ns * sweeps_d + overhead_ns;
-        report.programSeconds = prog_ns * 1e-9 * sweeps_d;
-        report.streamSeconds = stream_ns * 1e-9 * sweeps_d;
-    }
-    report.computeSeconds = compute_ns * 1e-9 * sweeps_d;
-    report.seconds = total_ns * 1e-9;
-
-    const auto tiles = static_cast<std::uint64_t>(
-        prep.meta.tiles().size());
-    report.tilesProcessed = tiles * sweeps;
-    report.tilesSkipped = (prep.partition.numTiles() - tiles) * sweeps;
-    report.edgesProcessed = prep.meta.totalNnz() * sweeps;
-
-    // Split events: programming/streaming vs evaluation.
-    EnergyEvents load_events;
-    load_events.arrayWrites = tile_events.arrayWrites;
-    load_events.memBytes = tile_events.memBytes;
-    EnergyEvents compute_events = tile_events;
-    compute_events.arrayWrites = 0;
-    compute_events.memBytes = 0;
-
-    EnergyEvents total;
-    for (std::uint64_t s = 0; s < sweeps; ++s)
-        total += compute_events;
-    if (once) {
-        total += load_events;
-    } else {
-        for (std::uint64_t s = 0; s < sweeps; ++s)
-            total += load_events;
-    }
-    finalizeReport(report, config_.device, total);
-    return report;
+    bool hit = false;
+    TilePlanPtr plan =
+        PlanCache::instance().get(graph, config_.tiling, &hit);
+    TileExecutor exec(config_, std::move(plan));
+    exec.stats().planCacheHit = hit;
+    return exec;
 }
 
 SimReport
@@ -155,28 +47,29 @@ GraphRNode::runPageRank(const CooGraph &graph,
                         std::vector<Value> *ranks_out)
 {
     GRAPHR_ASSERT(graph.numVertices() > 0, "empty graph");
-    const Prepared prep = prepare(graph);
+    TileExecutor exec = makeExecutor(graph);
+
+    MacSpec spec;
+    spec.name = "pagerank";
 
     std::uint64_t iterations = 0;
     std::vector<Value> ranks;
+    // Function scope: referenced by spec.edgeScale below.
+    std::vector<EdgeId> out_deg;
 
     if (config_.functional) {
-        // Execute through the modelled analog datapath.
+        // Execute through the modelled analog datapath. The
+        // programmed weight of an edge is its PageRank contribution
+        // factor — constant across iterations, so resident tiles
+        // (ProgramCharging::kOnce) are programmed once per run.
         const VertexId nv = graph.numVertices();
-        const std::vector<EdgeId> out_deg = graph.outDegrees();
-        EnergyLedger scratch(config_.device);
-        GraphEngineArray ge(
-            config_.tiling.crossbarDim,
-            config_.tiling.crossbarsPerGe * config_.tiling.numGe,
-            config_.device, scratch);
-        if (config_.variationSigma > 0.0)
-            ge.setVariation(config_.variationSigma, config_.variationSeed);
-        ge.salu().configure(SaluOp::kAdd);
+        out_deg = graph.outDegrees();
+        spec.edgeScale = [damping = params.damping,
+                          &out_deg](const Edge &e) {
+            return damping / static_cast<double>(out_deg[e.src]);
+        };
 
         ranks.assign(nv, 1.0 / static_cast<double>(nv));
-        std::vector<Edge> scaled;
-        std::vector<double> input(config_.tiling.crossbarDim, 0.0);
-
         for (int iter = 0; iter < params.maxIterations; ++iter) {
             double dangling = 0.0;
             for (VertexId v = 0; v < nv; ++v) {
@@ -187,32 +80,7 @@ GraphRNode::runPageRank(const CooGraph &graph,
                 (1.0 - params.damping) / static_cast<double>(nv) +
                 params.damping * dangling / static_cast<double>(nv);
             std::vector<Value> next(nv, base);
-
-            for (std::size_t t = 0; t < prep.meta.tiles().size(); ++t) {
-                const TileMeta &meta = prep.meta.tiles()[t];
-                const TileSpan &span = prep.ordered.tiles()[t];
-                scaled.clear();
-                for (const Edge &e : prep.ordered.tileEdges(span)) {
-                    scaled.push_back(Edge{
-                        e.src, e.dst,
-                        params.damping /
-                            static_cast<double>(out_deg[e.src])});
-                }
-                ge.programTile(scaled, meta.row0, meta.col0,
-                               config_.weightFracBits);
-                for (std::uint32_t r = 0;
-                     r < config_.tiling.crossbarDim; ++r) {
-                    const std::uint64_t v = meta.row0 + r;
-                    input[r] = v < nv ? ranks[v] : 0.0;
-                }
-                const std::vector<double> partial = ge.runMac(
-                    input, config_.inputFracBits, config_.weightFracBits);
-                for (std::uint64_t c = 0; c < partial.size(); ++c) {
-                    const std::uint64_t v = meta.col0 + c;
-                    if (v < nv && partial[c] != 0.0)
-                        next[v] = ge.salu().reduce(next[v], partial[c]);
-                }
-            }
+            exec.functionalMacSweep(spec, ranks, next);
 
             double delta = 0.0;
             for (VertexId v = 0; v < nv; ++v)
@@ -228,7 +96,9 @@ GraphRNode::runPageRank(const CooGraph &graph,
         ranks = golden.ranks;
     }
 
-    SimReport report = runMacSweeps(prep, iterations, 1, "pagerank");
+    spec.sweeps = iterations;
+    SimReport report = exec.macReport(spec);
+    lastStats_ = exec.stats();
     if (ranks_out != nullptr)
         *ranks_out = std::move(ranks);
     return report;
@@ -240,215 +110,28 @@ GraphRNode::runSpmv(const CooGraph &graph, const std::vector<Value> &x,
 {
     GRAPHR_ASSERT(x.size() == graph.numVertices(),
                   "input vector length mismatch");
-    const Prepared prep = prepare(graph);
+    TileExecutor exec = makeExecutor(graph);
+
+    MacSpec spec;
+    spec.name = "spmv";
+    spec.sweeps = 1;
+    spec.applyVariation = false; // SpMV is the exact validation path
 
     std::vector<Value> y;
     if (config_.functional) {
-        const VertexId nv = graph.numVertices();
-        const std::vector<EdgeId> out_deg = graph.outDegrees();
-        EnergyLedger scratch(config_.device);
-        GraphEngineArray ge(
-            config_.tiling.crossbarDim,
-            config_.tiling.crossbarsPerGe * config_.tiling.numGe,
-            config_.device, scratch);
-        ge.salu().configure(SaluOp::kAdd);
-
-        y.assign(nv, 0.0);
-        std::vector<Edge> scaled;
-        std::vector<double> input(config_.tiling.crossbarDim, 0.0);
-        for (std::size_t t = 0; t < prep.meta.tiles().size(); ++t) {
-            const TileMeta &meta = prep.meta.tiles()[t];
-            const TileSpan &span = prep.ordered.tiles()[t];
-            scaled.clear();
-            for (const Edge &e : prep.ordered.tileEdges(span)) {
-                scaled.push_back(Edge{
-                    e.src, e.dst,
-                    e.weight / static_cast<double>(out_deg[e.src])});
-            }
-            ge.programTile(scaled, meta.row0, meta.col0,
-                           config_.weightFracBits);
-            for (std::uint32_t r = 0; r < config_.tiling.crossbarDim;
-                 ++r) {
-                const std::uint64_t v = meta.row0 + r;
-                input[r] = v < nv ? x[v] : 0.0;
-            }
-            const std::vector<double> partial = ge.runMac(
-                input, config_.inputFracBits, config_.weightFracBits);
-            for (std::uint64_t c = 0; c < partial.size(); ++c) {
-                const std::uint64_t v = meta.col0 + c;
-                if (v < nv && partial[c] != 0.0)
-                    y[v] = ge.salu().reduce(y[v], partial[c]);
-            }
-        }
+        spec.edgeScale = [out_deg = graph.outDegrees()](const Edge &e) {
+            return e.weight / static_cast<double>(out_deg[e.src]);
+        };
+        y.assign(graph.numVertices(), 0.0);
+        exec.functionalMacSweep(spec, x, y);
     } else {
         y = spmv(graph, x);
     }
 
-    SimReport report = runMacSweeps(prep, 1, 1, "spmv");
+    SimReport report = exec.macReport(spec);
+    lastStats_ = exec.stats();
     if (y_out != nullptr)
         *y_out = std::move(y);
-    return report;
-}
-
-SimReport
-GraphRNode::runAddOpRounds(const Prepared &prep, const CooGraph &graph,
-                           const AddOpSpec &spec, const char *name,
-                           std::vector<Value> *dist_out)
-{
-    const VertexId nv = graph.numVertices();
-    const std::uint32_t dim = config_.tiling.crossbarDim;
-
-    SimReport report;
-    report.algorithm = name;
-    report.occupancy = prep.ordered.occupancy();
-
-    EnergyEvents events;
-    double total_ns = 0.0;
-    double prog_ns = 0.0;
-    double comp_ns = 0.0;
-    double stream_ns = 0.0;
-    const bool once = config_.programCharging == ProgramCharging::kOnce;
-
-    // Under kOnce the whole (preprocessed) graph is programmed into
-    // ReRAM a single time before the rounds begin.
-    if (once) {
-        EnergyEvents load_events;
-        for (const TileMeta &meta : prep.meta.tiles()) {
-            const TileCost cost =
-                costModel_.addOpTile(meta, 0, load_events);
-            prog_ns += cost.programNs;
-            stream_ns += cost.streamNs;
-            total_ns += config_.pipelineTiles
-                            ? std::max(cost.overlappedProgramNs,
-                                       cost.streamNs)
-                            : cost.programNs + cost.streamNs;
-        }
-        events += load_events;
-    }
-
-    // Timing walk: synchronous relaxation rounds; each round visits
-    // every tile whose source range intersects the active set.
-    RelaxationSweep sweep(graph, spec.initLabels, spec.initActive,
-                          spec.mode);
-    while (!sweep.done()) {
-        const std::vector<bool> &active = sweep.active();
-        for (const TileMeta &meta : prep.meta.tiles()) {
-            const std::uint64_t mask =
-                meta.rowMask & activeMask(active, meta.row0, dim);
-            if (mask == 0) {
-                ++report.tilesSkipped;
-                continue;
-            }
-            const auto rows =
-                static_cast<std::uint32_t>(std::popcount(mask));
-            EnergyEvents tile_events;
-            const TileCost cost =
-                costModel_.addOpTile(meta, rows, tile_events);
-            if (once) {
-                // Graph is resident: only the evaluation phase runs.
-                tile_events.arrayWrites = 0;
-                tile_events.memBytes = 0;
-                total_ns += cost.computeNs;
-            } else {
-                prog_ns += cost.programNs;
-                stream_ns += cost.streamNs;
-                total_ns += cost.totalNs(config_.pipelineTiles);
-            }
-            events += tile_events;
-            comp_ns += cost.computeNs;
-            ++report.tilesProcessed;
-            report.activeRowOps += rows;
-            std::uint64_t m = mask;
-            while (m != 0) {
-                const int r = std::countr_zero(m);
-                report.edgesProcessed += meta.rowNnz[r];
-                m &= m - 1;
-            }
-        }
-        total_ns += costModel_.iterationOverheadNs();
-        ++report.iterations;
-        sweep.step();
-    }
-
-    report.seconds = total_ns * 1e-9;
-    report.programSeconds = prog_ns * 1e-9;
-    report.computeSeconds = comp_ns * 1e-9;
-    report.streamSeconds = stream_ns * 1e-9;
-    finalizeReport(report, config_.device, events);
-
-    if (dist_out == nullptr)
-        return report;
-
-    if (!config_.functional) {
-        *dist_out = sweep.dist();
-        return report;
-    }
-
-    // Functional execution through the GE datapath.
-    EnergyLedger scratch(config_.device);
-    GraphEngineArray ge(dim,
-                        config_.tiling.crossbarsPerGe *
-                            config_.tiling.numGe,
-                        config_.device, scratch);
-    if (config_.variationSigma > 0.0)
-        ge.setVariation(config_.variationSigma, config_.variationSeed);
-    ge.salu().configure(SaluOp::kMin);
-
-    std::vector<Value> dist = spec.initLabels;
-    std::vector<bool> active = spec.initActive;
-    std::uint64_t active_count = 0;
-    for (const bool a : active)
-        active_count += a ? 1 : 0;
-    std::vector<Edge> rewritten_edges;
-
-    while (active_count > 0) {
-        std::vector<Value> next = dist;
-        for (std::size_t t = 0; t < prep.meta.tiles().size(); ++t) {
-            const TileMeta &meta = prep.meta.tiles()[t];
-            const std::uint64_t mask =
-                meta.rowMask & activeMask(active, meta.row0, dim);
-            if (mask == 0)
-                continue;
-            const TileSpan &span = prep.ordered.tiles()[t];
-            std::span<const Edge> tile_edges =
-                prep.ordered.tileEdges(span);
-            if (spec.mode != WeightMode::kOriginal) {
-                rewritten_edges.assign(tile_edges.begin(),
-                                       tile_edges.end());
-                const double w =
-                    spec.mode == WeightMode::kUnit ? 1.0 : 0.0;
-                for (Edge &e : rewritten_edges)
-                    e.weight = w;
-                tile_edges = rewritten_edges;
-            }
-            // Integer distances/weights: 0 fractional bits is exact.
-            // Parallel edges merge with min (relaxation semantics).
-            ge.programTile(tile_edges, meta.row0, meta.col0, 0,
-                           CombineMode::kMin);
-            std::uint64_t m = mask;
-            while (m != 0) {
-                const int r = std::countr_zero(m);
-                m &= m - 1;
-                const std::vector<double> cand = ge.runAddOp(
-                    static_cast<std::uint32_t>(r),
-                    dist[meta.row0 + static_cast<std::uint64_t>(r)], 0);
-                for (std::uint64_t c = 0; c < cand.size(); ++c) {
-                    const std::uint64_t v = meta.col0 + c;
-                    if (v < nv && cand[c] < kInfDistance)
-                        next[v] = ge.salu().reduce(next[v], cand[c]);
-                }
-            }
-        }
-
-        active_count = 0;
-        for (VertexId v = 0; v < nv; ++v) {
-            active[v] = next[v] < dist[v];
-            if (active[v])
-                ++active_count;
-        }
-        dist = std::move(next);
-    }
-    *dist_out = std::move(dist);
     return report;
 }
 
@@ -457,14 +140,16 @@ GraphRNode::runBfs(const CooGraph &graph, VertexId source,
                    std::vector<Value> *dist_out)
 {
     GRAPHR_ASSERT(source < graph.numVertices(), "source out of range");
-    const Prepared prep = prepare(graph);
+    TileExecutor exec = makeExecutor(graph);
     AddOpSpec spec;
     spec.initLabels.assign(graph.numVertices(), kInfDistance);
     spec.initActive.assign(graph.numVertices(), false);
     spec.initLabels[source] = 0.0;
     spec.initActive[source] = true;
     spec.mode = WeightMode::kUnit;
-    return runAddOpRounds(prep, graph, spec, "bfs", dist_out);
+    SimReport report = exec.addOpRun(graph, spec, "bfs", dist_out);
+    lastStats_ = exec.stats();
+    return report;
 }
 
 SimReport
@@ -472,14 +157,16 @@ GraphRNode::runSssp(const CooGraph &graph, VertexId source,
                     std::vector<Value> *dist_out)
 {
     GRAPHR_ASSERT(source < graph.numVertices(), "source out of range");
-    const Prepared prep = prepare(graph);
+    TileExecutor exec = makeExecutor(graph);
     AddOpSpec spec;
     spec.initLabels.assign(graph.numVertices(), kInfDistance);
     spec.initActive.assign(graph.numVertices(), false);
     spec.initLabels[source] = 0.0;
     spec.initActive[source] = true;
     spec.mode = WeightMode::kOriginal;
-    return runAddOpRounds(prep, graph, spec, "sssp", dist_out);
+    SimReport report = exec.addOpRun(graph, spec, "sssp", dist_out);
+    lastStats_ = exec.stats();
+    return report;
 }
 
 SimReport
@@ -488,7 +175,7 @@ GraphRNode::runWcc(const CooGraph &graph,
 {
     // Min-label propagation needs both edge directions.
     const CooGraph sym = symmetrize(graph);
-    const Prepared prep = prepare(sym);
+    TileExecutor exec = makeExecutor(sym);
 
     AddOpSpec spec;
     spec.initLabels.resize(sym.numVertices());
@@ -498,9 +185,10 @@ GraphRNode::runWcc(const CooGraph &graph,
     spec.mode = WeightMode::kZero;
 
     std::vector<Value> labels;
-    SimReport report = runAddOpRounds(prep, sym, spec, "wcc",
-                                      labels_out != nullptr ? &labels
-                                                            : nullptr);
+    SimReport report =
+        exec.addOpRun(sym, spec, "wcc",
+                      labels_out != nullptr ? &labels : nullptr);
+    lastStats_ = exec.stats();
     if (labels_out != nullptr) {
         labels_out->resize(labels.size());
         for (std::size_t v = 0; v < labels.size(); ++v)
@@ -513,13 +201,16 @@ SimReport
 GraphRNode::runCf(const CooGraph &ratings, const CfParams &params)
 {
     GRAPHR_ASSERT(params.featureLength > 0, "feature length must be > 0");
-    const Prepared prep = prepare(ratings);
+    TileExecutor exec = makeExecutor(ratings);
     // One MVM pass per feature; the gradient updates reuse the pass
     // results through the sALU datapath.
-    const auto passes =
-        static_cast<std::uint32_t>(params.featureLength);
-    return runMacSweeps(prep, static_cast<std::uint64_t>(params.epochs),
-                        passes, "cf");
+    MacSpec spec;
+    spec.name = "cf";
+    spec.sweeps = static_cast<std::uint64_t>(params.epochs);
+    spec.passesPerTile = static_cast<std::uint32_t>(params.featureLength);
+    SimReport report = exec.macReport(spec);
+    lastStats_ = exec.stats();
+    return report;
 }
 
 } // namespace graphr

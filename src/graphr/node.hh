@@ -18,20 +18,24 @@
  *
  * Both modes charge identical event counts per processed tile (a
  * property test asserts this).
+ *
+ * The node does not walk tiles itself: preprocessing products come
+ * from the shared PlanCache (one prepare per graph x tiling across
+ * all runners of the process) and both the timing accounting and the
+ * functional datapath are driven by the TileExecutor from
+ * per-algorithm MacSpec/AddOpSpec descriptions (graphr/engine/).
  */
 
 #ifndef GRAPHR_GRAPHR_NODE_HH
 #define GRAPHR_GRAPHR_NODE_HH
 
-#include <optional>
 #include <vector>
 
 #include "algorithms/collaborative_filtering.hh"
 #include "algorithms/pagerank.hh"
-#include "algorithms/traversal.hh"
 #include "graph/coo.hh"
 #include "graphr/config.hh"
-#include "graphr/cost_model.hh"
+#include "graphr/engine/tile_executor.hh"
 #include "graphr/sim_report.hh"
 
 namespace graphr
@@ -41,6 +45,7 @@ namespace graphr
 class GraphRNode
 {
   public:
+    /** @throws ConfigError on an invalid configuration. */
     explicit GraphRNode(GraphRConfig config = GraphRConfig{});
 
     const GraphRConfig &config() const { return config_; }
@@ -82,32 +87,19 @@ class GraphRNode
      */
     SimReport runCf(const CooGraph &ratings, const CfParams &params);
 
+    /**
+     * Engine counters of the most recent run* call: plan-cache hit,
+     * functional tile programs/loads. Test and bench visibility only
+     * — not part of the SimReport.
+     */
+    const EngineStats &lastEngineStats() const { return lastStats_; }
+
   private:
-    struct Prepared; // preprocessing products (defined in .cc)
-
-    /** Initial state of an add-op (min-relaxation) execution. */
-    struct AddOpSpec
-    {
-        std::vector<Value> initLabels;
-        std::vector<bool> initActive;
-        WeightMode mode = WeightMode::kOriginal;
-    };
-
-    /** Run preprocessing + metadata extraction for a graph. */
-    Prepared prepare(const CooGraph &graph) const;
-
-    /** Shared MAC-pattern driver (PageRank/SpMV/CF schedules). */
-    SimReport runMacSweeps(const Prepared &prep, std::uint64_t sweeps,
-                           std::uint32_t passes_per_tile,
-                           const char *name);
-
-    /** Shared add-op driver (BFS/SSSP/WCC). */
-    SimReport runAddOpRounds(const Prepared &prep, const CooGraph &graph,
-                             const AddOpSpec &spec, const char *name,
-                             std::vector<Value> *dist_out);
+    /** Executor over the (cached) plan for this graph. */
+    TileExecutor makeExecutor(const CooGraph &graph);
 
     GraphRConfig config_;
-    CostModel costModel_;
+    EngineStats lastStats_;
 };
 
 } // namespace graphr

@@ -5,7 +5,7 @@
 #include "algorithms/traversal.hh"
 #include "algorithms/wcc.hh"
 #include "common/logging.hh"
-#include "graph/partition.hh"
+#include "graphr/engine/plan_cache.hh"
 
 namespace graphr
 {
@@ -14,6 +14,7 @@ OutOfCoreRunner::OutOfCoreRunner(const GraphRConfig &config,
                                  const StorageParams &storage)
     : config_(config), storage_(storage)
 {
+    config_.validate();
     GRAPHR_ASSERT(storage_.seqBandwidthGBs > 0.0,
                   "storage bandwidth must be positive");
 }
@@ -35,6 +36,8 @@ OutOfCoreRunner::sequentialSweeps(const CooGraph &graph,
     OutOfCoreReport report;
     report.node = std::move(node_report);
 
+    // Only the block arithmetic is needed here — GridPartition is
+    // pure index math, cheaper than even a plan-cache lookup.
     const GridPartition part(graph.numVertices(), config_.tiling);
     report.numBlocks = part.numBlocks();
 
@@ -94,14 +97,18 @@ OutOfCoreRunner::selectiveRounds(const CooGraph &graph,
     OutOfCoreReport report;
     report.node = std::move(node_report);
 
-    const GridPartition part(graph.numVertices(), config_.tiling);
+    const TilePlanPtr plan =
+        PlanCache::instance().get(graph, config_.tiling);
+    const GridPartition &part = plan->partition;
     report.numBlocks = part.numBlocks();
     const std::uint64_t block = part.blockSize();
 
-    // Edge bytes per source block-row (selective scheduling unit).
+    // Edge bytes per source block-row (selective scheduling unit),
+    // off the plan's tile table: a tile's rows never straddle a
+    // block boundary, so its whole nnz belongs to one block-row.
     std::vector<std::uint64_t> row_bytes(part.blocksPerDim(), 0);
-    for (const Edge &e : graph.edges())
-        row_bytes[e.src / block] += config_.bytesPerEdge;
+    for (const TileMeta &meta : plan->meta.tiles())
+        row_bytes[meta.row0 / block] += meta.nnz * config_.bytesPerEdge;
 
     // Replay the rounds; a block-row is streamed when any of its
     // sources is active.

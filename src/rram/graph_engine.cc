@@ -21,6 +21,19 @@ GraphEngineArray::GraphEngineArray(std::uint32_t crossbar_dim,
         crossbars_.emplace_back(crossbar_dim, params);
     present_.assign(static_cast<std::size_t>(crossbarDim_) * tileWidth(),
                     false);
+    crossbarNnz_.assign(crossbars_.size(), 0);
+}
+
+void
+GraphEngineArray::clearProgrammedState()
+{
+    for (std::size_t cb = 0; cb < crossbars_.size(); ++cb) {
+        if (crossbarNnz_[cb] == 0)
+            continue;
+        crossbars_[cb].clear();
+        crossbarNnz_[cb] = 0;
+    }
+    std::fill(present_.begin(), present_.end(), false);
 }
 
 bool
@@ -34,9 +47,7 @@ GraphEngineArray::programTile(std::span<const Edge> edges,
                               std::uint64_t row0, std::uint64_t col0,
                               int weight_frac_bits, CombineMode combine)
 {
-    for (Crossbar &cb : crossbars_)
-        cb.clear();
-    std::fill(present_.begin(), present_.end(), false);
+    clearProgrammedState();
 
     GRAPHR_ASSERT(crossbarDim_ <= 64,
                   "row bitmap supports crossbars up to 64x64");
@@ -75,6 +86,7 @@ GraphEngineArray::programTile(std::span<const Edge> edges,
         crossbars_[cb_index].programValue(
             row, cb_col, FixedPoint::quantize(weight, weight_frac_bits));
         present_[key] = true;
+        ++crossbarNnz_[cb_index];
         rows_touched[cb_index] |= (std::uint64_t{1} << row);
     }
 
@@ -114,11 +126,16 @@ GraphEngineArray::runMac(const std::vector<double> &input,
     std::uint64_t reads = 0;
     std::uint64_t samples = 0;
     for (std::size_t cb = 0; cb < crossbars_.size(); ++cb) {
-        const std::vector<std::uint64_t> cols =
-            crossbars_[cb].mvmRaw(raw_in);
-        for (std::uint32_t c = 0; c < crossbarDim_; ++c) {
-            out[cb * crossbarDim_ + c] =
-                static_cast<double>(cols[c]) / scale;
+        // Empty crossbars contribute all-zero columns and leave the
+        // variation RNG untouched (level-0 cells read exactly), so
+        // only the event charge below applies.
+        if (crossbarNnz_[cb] != 0) {
+            const std::vector<std::uint64_t> cols =
+                crossbars_[cb].mvmRaw(raw_in);
+            for (std::uint32_t c = 0; c < crossbarDim_; ++c) {
+                out[cb * crossbarDim_ + c] =
+                    static_cast<double>(cols[c]) / scale;
+            }
         }
         // One array read per input slice; one ADC sample per physical
         // bitline (C values x weight slices) per input slice.
@@ -146,16 +163,21 @@ GraphEngineArray::runAddOp(std::uint32_t row, double dist_u,
     std::uint64_t reads = 0;
     std::uint64_t samples = 0;
     for (std::size_t cb = 0; cb < crossbars_.size(); ++cb) {
-        const std::vector<FixedPoint::Raw> row_vals =
-            crossbars_[cb].selectRow(row);
-        for (std::uint32_t c = 0; c < crossbarDim_; ++c) {
-            const std::uint64_t col = cb * crossbarDim_ + c;
-            if (!presentAt(row, col))
-                continue;
-            // The fixed "1" row adds dist(u) to each weight in analog
-            // (paper Fig. 16(c)); functionally that is w + dist_u.
-            out[col] =
-                static_cast<double>(row_vals[c]) / w_scale + dist_u;
+        // Empty crossbars hold no edges in any row: skip the compute,
+        // keep the event charge.
+        if (crossbarNnz_[cb] != 0) {
+            const std::vector<FixedPoint::Raw> row_vals =
+                crossbars_[cb].selectRow(row);
+            for (std::uint32_t c = 0; c < crossbarDim_; ++c) {
+                const std::uint64_t col = cb * crossbarDim_ + c;
+                if (!presentAt(row, col))
+                    continue;
+                // The fixed "1" row adds dist(u) to each weight in
+                // analog (paper Fig. 16(c)); functionally that is
+                // w + dist_u.
+                out[col] =
+                    static_cast<double>(row_vals[c]) / w_scale + dist_u;
+            }
         }
         reads += 1;
         samples += static_cast<std::uint64_t>(crossbarDim_) *
@@ -167,6 +189,47 @@ GraphEngineArray::runAddOp(std::uint32_t row, double dist_u,
     ledger_.events().sampleHolds += samples;
     ledger_.events().shiftAdds += tileWidth();
     return out;
+}
+
+TileSnapshot
+GraphEngineArray::saveTile(int weight_frac_bits) const
+{
+    TileSnapshot snapshot;
+    snapshot.fracBits = weight_frac_bits;
+    // Scan only occupied crossbars: O(used crossbars * C^2), not the
+    // dense C x tileWidth presence grid.
+    for (std::size_t cb = 0; cb < crossbars_.size(); ++cb) {
+        if (crossbarNnz_[cb] == 0)
+            continue;
+        const std::uint64_t col0 = cb * crossbarDim_;
+        for (std::uint32_t row = 0; row < crossbarDim_; ++row) {
+            for (std::uint32_t c = 0; c < crossbarDim_; ++c) {
+                const std::uint64_t col = col0 + c;
+                if (!presentAt(row, col))
+                    continue;
+                snapshot.cells.push_back(TileSnapshot::CellValue{
+                    row, col, crossbars_[cb].storedRaw(row, c)});
+            }
+        }
+    }
+    return snapshot;
+}
+
+void
+GraphEngineArray::loadTile(const TileSnapshot &snapshot)
+{
+    clearProgrammedState();
+    for (const TileSnapshot::CellValue &cell : snapshot.cells) {
+        const auto cb = static_cast<std::size_t>(cell.col / crossbarDim_);
+        const auto cb_col =
+            static_cast<std::uint32_t>(cell.col % crossbarDim_);
+        crossbars_[cb].programValue(
+            cell.row, cb_col,
+            FixedPoint::fromRaw(cell.raw, snapshot.fracBits));
+        present_[static_cast<std::size_t>(cell.row) * tileWidth() +
+                 cell.col] = true;
+        ++crossbarNnz_[cb];
+    }
 }
 
 std::vector<bool>

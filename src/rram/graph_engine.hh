@@ -53,6 +53,28 @@ struct TileActivity
 };
 
 /**
+ * Saved programmed state of one tile: the quantised nonzero cells.
+ * Under ProgramCharging::kOnce every tile's weights stay resident in
+ * its own crossbar bank after the initial programming; the functional
+ * model serialises tiles through one GraphEngineArray, so "resident"
+ * is modelled by snapshotting a tile after its first (and only)
+ * programTile() and replaying the snapshot on later visits.
+ * loadTile() charges no write events — switching the evaluation
+ * target between already-programmed banks is not a reprogram.
+ */
+struct TileSnapshot
+{
+    struct CellValue
+    {
+        std::uint32_t row = 0;
+        std::uint64_t col = 0; ///< tile-relative column
+        FixedPoint::Raw raw = 0;
+    };
+    std::vector<CellValue> cells;
+    int fracBits = 0;
+};
+
+/**
  * Functional model of the full GE array of a GraphR node operating on
  * one tile at a time.
  */
@@ -120,6 +142,19 @@ class GraphEngineArray
     /** Mask of columns holding a nonzero in the given row. */
     std::vector<bool> rowMask(std::uint32_t row) const;
 
+    /**
+     * Capture the currently programmed tile (exact stored raw values;
+     * @p weight_frac_bits must match the programTile() call).
+     */
+    TileSnapshot saveTile(int weight_frac_bits) const;
+
+    /**
+     * Make a previously saved tile the evaluation target again.
+     * Restores cells and presence exactly; charges no write events
+     * (see TileSnapshot).
+     */
+    void loadTile(const TileSnapshot &snapshot);
+
     /** sALU shared by the node (configured per algorithm). */
     Salu &salu() { return salu_; }
 
@@ -133,9 +168,19 @@ class GraphEngineArray
     std::vector<Crossbar> crossbars_;
     /** Presence mask: does (row, col) hold an edge? Tile-relative. */
     std::vector<bool> present_;
+    /**
+     * Nonzero cells per crossbar. Empty crossbars produce all-zero
+     * MVM columns and never touch the variation RNG (level-0 cells
+     * read exactly), so compute skips them — a large win on sparse
+     * tiles — while event accounting still covers the full array.
+     */
+    std::vector<std::uint32_t> crossbarNnz_;
     Salu salu_{SaluOp::kAdd};
 
     bool presentAt(std::uint32_t row, std::uint64_t col) const;
+
+    /** Zero every occupied crossbar and the presence state. */
+    void clearProgrammedState();
 };
 
 } // namespace graphr
