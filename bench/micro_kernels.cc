@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/random.hh"
+#include "driver/driver.hh"
 #include "graph/generator.hh"
 #include "graph/preprocess.hh"
 #include "graphr/engine/plan_cache.hh"
@@ -44,6 +45,45 @@ BM_CrossbarMvm(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * dim * dim);
 }
 BENCHMARK(BM_CrossbarMvm)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_CrossbarMvmSparse(benchmark::State &state)
+{
+    // Dense-vs-sparse kernel cost: arg 1 is the number of occupied
+    // wordlines of a 32x32 crossbar. Real power-law tiles leave most
+    // rows empty, and the row-occupancy mask skips them outright —
+    // the gap to the dense row is the per-MVM win.
+    const auto dim = static_cast<std::uint32_t>(state.range(0));
+    const auto occupied = static_cast<std::uint32_t>(state.range(1));
+    DeviceParams params;
+    Crossbar cb(dim, params);
+    Rng rng(1);
+    for (std::uint32_t r = 0; r < occupied; ++r) {
+        // Spread occupied rows across the array.
+        const std::uint32_t row = r * dim / std::max(occupied, 1u);
+        for (std::uint32_t c = 0; c < dim; ++c)
+            cb.programValue(row, c,
+                            FixedPoint::fromRaw(
+                                static_cast<FixedPoint::Raw>(
+                                    1 + rng.below(65535)),
+                                0));
+    }
+    std::vector<FixedPoint::Raw> x(dim);
+    for (auto &v : x)
+        v = static_cast<FixedPoint::Raw>(rng.below(65536));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cb.mvmRaw(x));
+    }
+    state.SetItemsProcessed(state.iterations() * dim * dim);
+    state.SetLabel(occupied == dim ? "dense"
+                                   : std::to_string(occupied) + "/" +
+                                         std::to_string(dim) + " rows");
+}
+BENCHMARK(BM_CrossbarMvmSparse)
+    ->Args({32, 32})
+    ->Args({32, 8})
+    ->Args({32, 2})
+    ->Args({32, 0});
 
 void
 BM_Preprocess(benchmark::State &state)
@@ -165,6 +205,37 @@ BM_NodePageRankSweep(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * edges * 10);
 }
 BENCHMARK(BM_NodePageRankSweep)->Arg(100000);
+
+void
+BM_SweepThroughput(benchmark::State &state)
+{
+    // Driver sweep throughput (runs/sec) at --jobs 1/2/4/8: the full
+    // workload x backend matrix on one small graph. Warm caches: the
+    // plan and golden results are shared, so this measures the
+    // parallel execution scaling, not preprocessing.
+    driver::SweepSpec spec;
+    spec.workloads = {"all"};
+    spec.backends = {"all"};
+    spec.datasets = {"rmat:vertices=256,edges=2048,seed=3"};
+    spec.params =
+        driver::ParamMap::parse("epochs=1,features=4,iterations=5");
+    spec.jobs = static_cast<std::uint32_t>(state.range(0));
+    const std::size_t runs = runSweep(spec).size(); // warm-up
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runSweep(spec).size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(runs));
+    state.SetLabel("jobs=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_SweepThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 } // namespace
 

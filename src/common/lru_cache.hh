@@ -6,19 +6,28 @@
  * Values are shared_ptrs: eviction never invalidates a value a caller
  * still holds. Capacity is small by design — cached values (tile
  * plans, golden rank vectors) are memory-heavy for large graphs.
- * Builds happen under the lock, serialising concurrent misses for
- * the same key into one build; the simulator is effectively
- * single-threaded per process, so the simplicity wins.
+ *
+ * Built for the parallel sweep driver: lookups take a shared lock and
+ * builds happen *outside* the cache lock with per-key
+ * once-construction. The first thread to miss a key becomes its
+ * builder; concurrent threads asking for the same key block on that
+ * key's slot (never re-running the factory), while threads working on
+ * different keys proceed independently. A failed build propagates its
+ * exception to every waiter and drops the entry so later calls retry.
  */
 
 #ifndef GRAPHR_COMMON_LRU_CACHE_HH
 #define GRAPHR_COMMON_LRU_CACHE_HH
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 
@@ -47,29 +56,67 @@ class LruCache
     /**
      * Return the cached value for @p key, building it with
      * @p factory() on a miss. @p cache_hit, when non-null, reports
-     * whether the value was reused.
+     * whether the value was reused (including a wait on a build
+     * another thread had in flight).
      */
     template <typename Factory>
     ValuePtr
     getOrBuild(const Key &key, Factory &&factory,
                bool *cache_hit = nullptr)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        const auto it = index_.find(key);
-        if (it != index_.end()) {
-            lru_.splice(lru_.begin(), lru_, it->second);
-            ++stats_.hits;
-            if (cache_hit != nullptr)
-                *cache_hit = true;
-            return it->second->second;
+        SlotPtr slot;
+        {
+            // Fast path: shared-lock lookup, no LRU mutation.
+            std::shared_lock<std::shared_mutex> lock(mutex_);
+            const auto it = index_.find(key);
+            if (it != index_.end())
+                slot = it->second->second;
         }
-        ValuePtr value = factory();
-        lru_.emplace_front(key, value);
-        index_.emplace(key, lru_.begin());
-        ++stats_.misses;
-        evictOverflow();
+        bool builder = false;
+        if (slot == nullptr) {
+            std::unique_lock<std::shared_mutex> lock(mutex_);
+            const auto it = index_.find(key);
+            if (it != index_.end()) {
+                slot = it->second->second;
+            } else {
+                slot = std::make_shared<Slot>();
+                lru_.emplace_front(key, slot);
+                index_.emplace(key, lru_.begin());
+                misses_.fetch_add(1, std::memory_order_relaxed);
+                evictOverflow();
+                builder = true;
+            }
+        }
+
+        if (builder) {
+            // Build outside the cache lock: only threads wanting this
+            // key wait; other keys are untouched.
+            ValuePtr value;
+            try {
+                value = factory();
+                publish(slot, value, nullptr);
+            } catch (...) {
+                publish(slot, nullptr, std::current_exception());
+                dropIfStillMapped(key, slot);
+                throw;
+            }
+            if (cache_hit != nullptr)
+                *cache_hit = false;
+            return value;
+        }
+
+        // Hit — possibly on a build still in flight.
+        ValuePtr value;
+        {
+            std::unique_lock<std::mutex> slot_lock(slot->mutex);
+            slot->ready.wait(slot_lock, [&slot] { return slot->done; });
+            if (slot->error)
+                std::rethrow_exception(slot->error);
+            value = slot->value;
+        }
+        touchFront(key);
         if (cache_hit != nullptr)
-            *cache_hit = false;
+            *cache_hit = true;
         return value;
     }
 
@@ -77,16 +124,17 @@ class LruCache
     void
     clear()
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_lock<std::shared_mutex> lock(mutex_);
         lru_.clear();
         index_.clear();
-        stats_ = LruCacheStats{};
+        hits_.store(0, std::memory_order_relaxed);
+        misses_.store(0, std::memory_order_relaxed);
     }
 
     std::size_t
     size() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::shared_lock<std::shared_mutex> lock(mutex_);
         return lru_.size();
     }
 
@@ -94,7 +142,7 @@ class LruCache
     void
     setCapacity(std::size_t capacity)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_lock<std::shared_mutex> lock(mutex_);
         capacity_ = capacity > 0 ? capacity : 1;
         evictOverflow();
     }
@@ -102,15 +150,74 @@ class LruCache
     LruCacheStats
     stats() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        return stats_;
+        return LruCacheStats{hits_.load(std::memory_order_relaxed),
+                             misses_.load(std::memory_order_relaxed)};
     }
 
   private:
-    using LruList = std::list<std::pair<Key, ValuePtr>>;
+    /**
+     * Per-key build rendezvous. Builders publish the value (or the
+     * factory's exception) here; waiters block on `ready`. Waiters
+     * hold the slot by shared_ptr, so eviction or clear() during an
+     * in-flight build is harmless.
+     */
+    struct Slot
+    {
+        std::mutex mutex;
+        std::condition_variable ready;
+        bool done = false;
+        ValuePtr value;
+        std::exception_ptr error;
+    };
+    using SlotPtr = std::shared_ptr<Slot>;
+    using LruList = std::list<std::pair<Key, SlotPtr>>;
 
     void
-    evictOverflow() ///< caller holds mutex_
+    publish(const SlotPtr &slot, ValuePtr value, std::exception_ptr err)
+    {
+        {
+            std::lock_guard<std::mutex> slot_lock(slot->mutex);
+            slot->value = std::move(value);
+            slot->error = err;
+            slot->done = true;
+        }
+        slot->ready.notify_all();
+    }
+
+    /** Remove a failed build's entry so later lookups retry. */
+    void
+    dropIfStillMapped(const Key &key, const SlotPtr &slot)
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        const auto it = index_.find(key);
+        if (it != index_.end() && it->second->second == slot) {
+            lru_.erase(it->second);
+            index_.erase(it);
+        }
+    }
+
+    /**
+     * Record a hit. The recency bump needs the exclusive lock (list
+     * splice), but LRU order is a heuristic, not correctness — so
+     * under contention the bump is simply dropped and the hit path
+     * never blocks behind other workers. Serial callers always get
+     * the lock, keeping eviction order deterministic for them.
+     */
+    void
+    touchFront(const Key &key)
+    {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        std::unique_lock<std::shared_mutex> lock(mutex_,
+                                                 std::try_to_lock);
+        if (!lock.owns_lock())
+            return;
+        const auto it = index_.find(key);
+        if (it != index_.end())
+            lru_.splice(lru_.begin(), lru_, it->second);
+    }
+
+    void
+    evictOverflow() ///< caller holds mutex_ exclusively
     {
         while (lru_.size() > capacity_) {
             index_.erase(lru_.back().first);
@@ -118,11 +225,13 @@ class LruCache
         }
     }
 
-    mutable std::mutex mutex_;
+    mutable std::shared_mutex mutex_;
     std::size_t capacity_;
     LruList lru_; ///< front = most recently used
     std::unordered_map<Key, typename LruList::iterator, Hash> index_;
-    LruCacheStats stats_;
+    /** Lock-free counters: the hit path must not take mutex_. */
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
 };
 
 } // namespace graphr

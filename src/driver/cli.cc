@@ -60,6 +60,12 @@ parseCli(const std::vector<std::string> &args)
         } else if (arg == "--seed") {
             opts.sweep.seed =
                 oneFlag(arg, next(i, arg)).getU64(arg, 42);
+        } else if (arg == "--jobs" || arg == "-j") {
+            const std::uint32_t n =
+                oneFlag(arg, next(i, arg)).getU32(arg, 1);
+            if (n > 1024)
+                throw DriverError("--jobs must be in [0, 1024]");
+            opts.sweep.jobs = n;
         } else if (arg == "--nodes") {
             const std::uint32_t n =
                 oneFlag(arg, next(i, arg)).getU32(arg, 4);
@@ -104,6 +110,9 @@ usageText()
        << "  --param k=v         workload parameter (repeatable)\n"
        << "  --scale f           Table-3 dataset scale divisor (>= 1)\n"
        << "  --seed n            generator seed (default 42)\n"
+       << "  --jobs n            parallel sweep workers (default 1;\n"
+       << "                      0 = all hardware threads); output is\n"
+       << "                      byte-identical at any job count\n"
        << "  --nodes n           multinode cluster size (default 4)\n"
        << "  --functional        bit-exact analog datapath (slow)\n"
        << "  --out path          write JSON report ('-' = stdout)\n"

@@ -58,6 +58,7 @@ struct CliOptions
  *   --param k=v         workload parameter; repeatable
  *   --scale f           Table-3 dataset scale divisor (>= 1)
  *   --seed n            generator seed
+ *   --jobs n            parallel sweep workers (0 = hardware threads)
  *   --nodes n           cluster size for the multinode backend
  *   --functional        run GraphR backends in functional mode
  *   --out path          write the JSON report ("-" = stdout)

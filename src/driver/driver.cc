@@ -1,6 +1,12 @@
 #include "driver.hh"
 
 #include <algorithm>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/thread_pool.hh"
 
 namespace graphr::driver
 {
@@ -37,6 +43,126 @@ expandNames(const std::vector<std::string> &names,
     if (out.empty())
         throw DriverError("no " + what + " selected");
     return out;
+}
+
+/**
+ * One progress line, built off-stream and written in a single
+ * mutex-guarded call so concurrent workers never interleave
+ * mid-line. Byte-identical to the serial "running ... ..." + endl.
+ */
+void
+announceRun(std::ostream *progress, std::mutex &progress_mutex,
+            const std::string &workload, const std::string &backend,
+            const std::string &dataset)
+{
+    if (progress == nullptr)
+        return;
+    std::ostringstream line;
+    line << "running " << workload << " x " << backend << " x "
+         << dataset << " ...\n";
+    const std::lock_guard<std::mutex> lock(progress_mutex);
+    *progress << line.str() << std::flush;
+}
+
+/**
+ * Per-sweep dataset memo: each distinct dataset spec is resolved by
+ * exactly one worker (std::call_once); everyone else blocks on that
+ * slot instead of re-generating the graph. A resolution error is
+ * captured and rethrown to every requester.
+ */
+struct DatasetSlot
+{
+    std::once_flag once;
+    std::shared_ptr<const ResolvedDataset> value;
+    std::exception_ptr error;
+};
+
+/** The sweep cross product, dataset-major (the serial loop order). */
+struct Combo
+{
+    std::size_t dataset = 0;
+    std::size_t workload = 0;
+    std::size_t backend = 0;
+};
+
+std::vector<RunResult>
+runSweepParallel(const SweepSpec &spec,
+                 const std::vector<std::string> &workload_names,
+                 const std::vector<Workload> &workloads,
+                 const std::vector<std::string> &backend_names,
+                 unsigned jobs, std::ostream *progress)
+{
+    std::vector<Combo> combos;
+    combos.reserve(spec.datasets.size() * workloads.size() *
+                   backend_names.size());
+    for (std::size_t d = 0; d < spec.datasets.size(); ++d)
+        for (std::size_t w = 0; w < workloads.size(); ++w)
+            for (std::size_t b = 0; b < backend_names.size(); ++b)
+                combos.push_back(Combo{d, w, b});
+
+    std::vector<DatasetSlot> slots(spec.datasets.size());
+    const auto ensureDataset =
+        [&spec, &slots](std::size_t d)
+        -> std::shared_ptr<const ResolvedDataset> {
+        DatasetSlot &slot = slots[d];
+        std::call_once(slot.once, [&spec, &slot, d] {
+            try {
+                slot.value = std::make_shared<const ResolvedDataset>(
+                    resolveDataset(spec.datasets[d], spec.scale,
+                                   spec.seed));
+            } catch (...) {
+                slot.error = std::current_exception();
+            }
+        });
+        if (slot.error)
+            std::rethrow_exception(slot.error);
+        return slot.value;
+    };
+
+    // Each worker writes only its own pre-assigned result slot, so
+    // the merged vector comes out in spec order regardless of which
+    // worker finishes first — the JSON/table output is byte-identical
+    // to the serial path.
+    std::vector<RunResult> results(combos.size());
+    std::vector<std::exception_ptr> errors(combos.size());
+    std::mutex progress_mutex;
+    {
+        ThreadPool pool(static_cast<unsigned>(
+            std::min<std::size_t>(jobs, combos.size())));
+        for (std::size_t i = 0; i < combos.size(); ++i) {
+            pool.submit([&, i] {
+                const Combo &combo = combos[i];
+                try {
+                    const std::shared_ptr<const ResolvedDataset>
+                        dataset = ensureDataset(combo.dataset);
+                    announceRun(progress, progress_mutex,
+                                workload_names[combo.workload],
+                                backend_names[combo.backend],
+                                dataset->name);
+                    // A fresh backend per run: instances are cheap
+                    // (configuration only) and private state keeps
+                    // runs schedule-independent.
+                    const std::unique_ptr<Backend> backend =
+                        makeBackend(backend_names[combo.backend],
+                                    spec.backendOptions);
+                    results[i] =
+                        backend->run(workloads[combo.workload],
+                                     *dataset);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+    }
+
+    // Deterministic error surface: the first failure in spec order
+    // wins, matching what a serial sweep would have thrown.
+    for (const std::exception_ptr &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+    return results;
 }
 
 } // namespace
@@ -84,17 +210,21 @@ runSweep(const SweepSpec &spec, std::ostream *progress)
     for (const std::string &name : backend_names)
         backends.push_back(makeBackend(name, spec.backendOptions));
 
+    const unsigned jobs = ThreadPool::effectiveJobs(spec.jobs);
+    if (jobs > 1) {
+        return runSweepParallel(spec, workload_names, workloads,
+                                backend_names, jobs, progress);
+    }
+
     std::vector<RunResult> results;
+    std::mutex progress_mutex;
     for (const std::string &dataset_spec : spec.datasets) {
         const ResolvedDataset dataset =
             resolveDataset(dataset_spec, spec.scale, spec.seed);
         for (const Workload &workload : workloads) {
             for (const std::unique_ptr<Backend> &backend : backends) {
-                if (progress) {
-                    *progress << "running " << workload.name << " x "
-                              << backend->name() << " x "
-                              << dataset.name << " ..." << std::endl;
-                }
+                announceRun(progress, progress_mutex, workload.name,
+                            backend->name(), dataset.name);
                 results.push_back(backend->run(workload, dataset));
             }
         }

@@ -53,11 +53,20 @@ struct SweepSpec
     double scale = 1.0;
     std::uint64_t seed = 42;
     BackendOptions backendOptions;
+    /**
+     * Worker threads executing the cross product (1 = serial,
+     * 0 = hardware concurrency). Results are merged back in spec
+     * order, so the output is byte-identical at any job count; every
+     * run seeds its own RNGs, so results are independent of the
+     * execution schedule.
+     */
+    std::uint32_t jobs = 1;
 };
 
 /**
  * Run the full cross product, dataset-major. When `progress` is
- * non-null a one-line status is streamed per run.
+ * non-null a one-line status is streamed per run (written atomically,
+ * so parallel runs never interleave mid-line).
  */
 std::vector<RunResult> runSweep(const SweepSpec &spec,
                                 std::ostream *progress = nullptr);

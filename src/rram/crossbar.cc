@@ -1,5 +1,8 @@
 #include "crossbar.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace graphr
@@ -11,13 +14,20 @@ Crossbar::Crossbar(std::uint32_t dim, const DeviceParams &params)
 {
     GRAPHR_ASSERT(dim_ > 0, "crossbar dimension must be > 0");
     cells_.resize(static_cast<std::size_t>(dim_) * dim_ * slices_);
+    rowMask_.assign((dim_ + 63) / 64, 0);
 }
 
 void
 Crossbar::clear()
 {
-    for (Cell &cell : cells_)
-        cell.program(0);
+    // Only occupied wordlines can hold nonzero cells, so zero those
+    // row spans instead of reprogramming every cell: O(occupied
+    // rows), not O(dim^2 * slices).
+    forEachOccupiedRow([this](std::uint32_t row) {
+        Cell *first = &cells_[static_cast<std::size_t>(row) * rowSpan()];
+        std::fill(first, first + rowSpan(), Cell{});
+    });
+    std::fill(rowMask_.begin(), rowMask_.end(), 0);
 }
 
 void
@@ -28,6 +38,10 @@ Crossbar::programValue(std::uint32_t row, std::uint32_t col,
                   ") outside ", dim_, "x", dim_, " crossbar");
     for (int s = 0; s < slices_; ++s)
         cellAt(row, col, s).program(value.slice(s));
+    // Programming zero leaves the cells at level 0; the mask only
+    // needs to cover rows that may hold nonzeros.
+    if (value.raw() != 0)
+        rowMask_[row >> 6] |= std::uint64_t{1} << (row & 63);
 }
 
 FixedPoint::Raw
@@ -55,6 +69,15 @@ Crossbar::mvmRaw(const std::vector<FixedPoint::Raw> &input_raw) const
                   input_raw.size(), " != crossbar dim ", dim_);
     std::vector<std::uint64_t> columns(dim_, 0);
 
+    // Unoccupied wordlines hold only level-0 cells: they contribute
+    // nothing to any bitline and never consume a variation RNG draw,
+    // so restricting the row walk to the occupied set (in ascending
+    // order, straight off the bitmask — no per-call allocation) is
+    // bit-exact and RNG-neutral. An empty crossbar skips the column
+    // loops and S/A recombination entirely.
+    if (!anyRowOccupied())
+        return columns;
+
     // Outer loop: input slices applied by the driver, LSB first.
     // Inner: weight slices summed on bitlines, recombined by S/A.
     for (int in_s = 0; in_s < slices_; ++in_s) {
@@ -62,12 +85,12 @@ Crossbar::mvmRaw(const std::vector<FixedPoint::Raw> &input_raw) const
             std::array<std::uint64_t, kSlicesPerValue> partials{};
             for (int w_s = 0; w_s < slices_; ++w_s) {
                 std::uint64_t bitline = 0;
-                for (std::uint32_t row = 0; row < dim_; ++row) {
+                forEachOccupiedRow([&](std::uint32_t row) {
                     const std::uint64_t in_nib =
                         (input_raw[row] >> (in_s * kCellBits)) & 0xF;
                     bitline += in_nib *
                                readLevel(cellAt(row, col, w_s));
-                }
+                });
                 partials[static_cast<std::size_t>(w_s)] = bitline;
             }
             // Shift-and-add across weight slices, then shift by the
@@ -84,6 +107,11 @@ Crossbar::selectRow(std::uint32_t row) const
 {
     GRAPHR_ASSERT(row < dim_, "row ", row, " outside crossbar");
     std::vector<FixedPoint::Raw> out(dim_, 0);
+    // An unoccupied wordline reads all-zero without touching the RNG
+    // (level-0 cells are exact), so skip its per-column slice
+    // recombination outright.
+    if (!rowMayHoldNonzero(row))
+        return out;
     for (std::uint32_t col = 0; col < dim_; ++col) {
         FixedPoint::Raw raw = 0;
         for (int s = slices_ - 1; s >= 0; --s) {
@@ -98,19 +126,30 @@ Crossbar::selectRow(std::uint32_t row) const
 std::uint32_t
 Crossbar::occupiedRows() const
 {
+    // The mask is conservative (a nonzero cell may have been
+    // reprogrammed to zero), so verify the cells of masked rows —
+    // unmasked rows are guaranteed empty and need no scan.
     std::uint32_t count = 0;
-    for (std::uint32_t row = 0; row < dim_; ++row) {
-        bool occupied = false;
-        for (std::uint32_t col = 0; col < dim_ && !occupied; ++col) {
-            for (int s = 0; s < slices_ && !occupied; ++s) {
-                if (cellAt(row, col, s).level() != 0)
-                    occupied = true;
-            }
-        }
+    forEachOccupiedRow([this, &count](std::uint32_t row) {
+        const Cell *first =
+            &cells_[static_cast<std::size_t>(row) * rowSpan()];
+        const bool occupied =
+            std::any_of(first, first + rowSpan(), [](const Cell &c) {
+                return c.level() != 0;
+            });
         if (occupied)
             ++count;
-    }
+    });
     return count;
+}
+
+std::vector<std::uint32_t>
+Crossbar::occupiedRowIndices() const
+{
+    std::vector<std::uint32_t> rows;
+    forEachOccupiedRow(
+        [&rows](std::uint32_t row) { rows.push_back(row); });
+    return rows;
 }
 
 } // namespace graphr

@@ -20,10 +20,12 @@
 #ifndef GRAPHR_RRAM_CROSSBAR_HH
 #define GRAPHR_RRAM_CROSSBAR_HH
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
 #include "common/fixed_point.hh"
+#include "common/logging.hh"
 #include "rram/cell.hh"
 #include "rram/device_params.hh"
 
@@ -62,6 +64,12 @@ class Crossbar
      * Inputs and outputs are raw fixed-point integers; the caller
      * owns scaling.
      *
+     * Only occupied wordlines are read (row bitmask): skipped rows
+     * are guaranteed all-zero, so the result, the variation RNG
+     * stream and the modelled event counts (charged by the caller)
+     * are identical to a dense scan. A fully empty crossbar skips
+     * the S/A recombination entirely.
+     *
      * @param input_raw one raw 16-bit input per wordline
      * @return 64-bit integer column sums (full precision)
      */
@@ -89,6 +97,27 @@ class Crossbar
     /** Number of wordlines that currently hold at least one nonzero. */
     std::uint32_t occupiedRows() const;
 
+    /**
+     * Whether the wordline may hold a nonzero cell. Maintained as a
+     * row bitmask by programValue()/clear(); a clear bit guarantees
+     * the row is all level-0 cells (which read exactly and never
+     * consume variation RNG draws), so compute may skip it without
+     * changing results or the RNG stream.
+     */
+    bool
+    rowMayHoldNonzero(std::uint32_t row) const
+    {
+        GRAPHR_ASSERT(row < dim_, "row ", row, " outside crossbar");
+        return (rowMask_[row >> 6] >> (row & 63)) & 1u;
+    }
+
+    /**
+     * Ascending indices of the possibly-nonzero wordlines (the set
+     * rowMayHoldNonzero() answers over). Ascending order keeps the
+     * variation RNG read order identical to a dense scan.
+     */
+    std::vector<std::uint32_t> occupiedRowIndices() const;
+
   private:
     /** Cell holding slice s of value (row, col). */
     const Cell &
@@ -109,10 +138,54 @@ class Crossbar
 
     std::uint8_t readLevel(const Cell &cell) const;
 
+    /** Cells of one wordline (all columns, all slices). */
+    std::size_t
+    rowSpan() const
+    {
+        return static_cast<std::size_t>(dim_) * slices_;
+    }
+
+    /**
+     * Invoke @p fn(row) for every possibly-nonzero wordline in
+     * ascending order. Allocation-free — mvmRaw sits on the hot path
+     * and runs this once per (input slice, column, weight slice).
+     */
+    template <typename Fn>
+    void
+    forEachOccupiedRow(Fn &&fn) const
+    {
+        for (std::size_t word = 0; word < rowMask_.size(); ++word) {
+            std::uint64_t bits = rowMask_[word];
+            while (bits != 0) {
+                fn(static_cast<std::uint32_t>(
+                    word * 64 +
+                    static_cast<unsigned>(std::countr_zero(bits))));
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    bool
+    anyRowOccupied() const
+    {
+        for (const std::uint64_t word : rowMask_) {
+            if (word != 0)
+                return true;
+        }
+        return false;
+    }
+
     std::uint32_t dim_;
     int slices_;
     int cellLevels_;
     std::vector<Cell> cells_;
+    /**
+     * One bit per wordline, set when a nonzero value is programmed
+     * into the row and reset by clear(). Conservative: reprogramming
+     * a cell to zero leaves the bit set, so a set bit means "may hold
+     * nonzeros" while a clear bit guarantees an all-zero row.
+     */
+    std::vector<std::uint64_t> rowMask_;
     double variationSigma_ = 0.0;
     mutable Rng rng_{0};
 };

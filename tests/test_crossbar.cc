@@ -202,5 +202,151 @@ TEST_P(CrossbarLinearityTest, MvmIsLinearInInput)
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossbarLinearityTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+// ------------------------------------------------- row-occupancy skip
+
+/** Digital reference MVM from the exactly stored raw values. */
+std::vector<std::uint64_t>
+denseReferenceMvm(const Crossbar &cb,
+                  const std::vector<FixedPoint::Raw> &x)
+{
+    std::vector<std::uint64_t> y(cb.dim(), 0);
+    for (std::uint32_t c = 0; c < cb.dim(); ++c)
+        for (std::uint32_t r = 0; r < cb.dim(); ++r)
+            y[c] += static_cast<std::uint64_t>(x[r]) * cb.storedRaw(r, c);
+    return y;
+}
+
+/**
+ * Row skipping must be bit-exact against a dense digital MVM for the
+ * weight/input shapes of all six algorithms: fractional PageRank/CF
+ * weights, raw SpMV values, unit BFS weights, integer SSSP distances
+ * and WCC's all-zero weights — each programmed sparsely so most rows
+ * are unoccupied.
+ */
+TEST(CrossbarOccupancyTest, SparseMvmMatchesDenseReferencePerAlgorithm)
+{
+    struct Pattern
+    {
+        const char *algo;
+        int fracBits;
+        double loWeight, hiWeight;
+    };
+    const Pattern patterns[] = {
+        {"pagerank", 15, 0.001, 0.9},
+        {"spmv", 8, 0.1, 100.0},
+        {"bfs", 0, 1.0, 1.0},
+        {"sssp", 0, 1.0, 255.0},
+        {"wcc", 0, 0.0, 0.0},
+        {"cf", 12, 0.01, 4.9},
+    };
+
+    DeviceParams params;
+    const std::uint32_t dim = 16;
+    Rng rng(99);
+    for (const Pattern &p : patterns) {
+        Crossbar cb(dim, params);
+        // Sparse power-law-ish fill: ~2 occupied rows of 16.
+        for (int e = 0; e < 6; ++e) {
+            const auto r = static_cast<std::uint32_t>(rng.below(4));
+            const auto c = static_cast<std::uint32_t>(rng.below(dim));
+            const double w =
+                p.loWeight +
+                rng.uniform() * (p.hiWeight - p.loWeight);
+            cb.programValue(r, c, FixedPoint::quantize(w, p.fracBits));
+        }
+        std::vector<FixedPoint::Raw> x(dim);
+        for (auto &v : x)
+            v = static_cast<FixedPoint::Raw>(rng.below(65536));
+
+        EXPECT_EQ(cb.mvmRaw(x), denseReferenceMvm(cb, x)) << p.algo;
+        EXPECT_LE(cb.occupiedRows(), 4u) << p.algo;
+    }
+}
+
+TEST(CrossbarOccupancyTest, EmptyCrossbarSkipsToZeros)
+{
+    DeviceParams params;
+    Crossbar cb(8, params);
+    EXPECT_EQ(cb.occupiedRows(), 0u);
+    EXPECT_TRUE(cb.occupiedRowIndices().empty());
+    const std::vector<std::uint64_t> y =
+        cb.mvmRaw(std::vector<FixedPoint::Raw>(8, 0xFFFF));
+    for (const std::uint64_t v : y)
+        EXPECT_EQ(v, 0u);
+}
+
+TEST(CrossbarOccupancyTest, ZeroProgramsLeaveRowsUnoccupied)
+{
+    // WCC programs zero-weight edges: the cells stay at level 0, so
+    // the row mask must not claim the row may hold nonzeros (presence
+    // is tracked separately by the GE array).
+    DeviceParams params;
+    Crossbar cb(8, params);
+    cb.programValue(2, 1, FixedPoint::quantize(0.0, 0));
+    EXPECT_FALSE(cb.rowMayHoldNonzero(2));
+    cb.programValue(2, 5, FixedPoint::fromRaw(42, 0));
+    EXPECT_TRUE(cb.rowMayHoldNonzero(2));
+    EXPECT_EQ(cb.occupiedRowIndices(),
+              (std::vector<std::uint32_t>{2}));
+}
+
+TEST(CrossbarOccupancyTest, SelectRowSkipsUnoccupiedRows)
+{
+    DeviceParams params;
+    Crossbar cb(4, params);
+    cb.programValue(1, 0, FixedPoint::fromRaw(9, 0));
+    const std::vector<FixedPoint::Raw> empty_row = cb.selectRow(3);
+    for (const FixedPoint::Raw v : empty_row)
+        EXPECT_EQ(v, 0u);
+    EXPECT_EQ(cb.selectRow(1)[0], 9u);
+}
+
+TEST(CrossbarOccupancyTest, ClearResetsOccupancyAndCells)
+{
+    DeviceParams params;
+    Crossbar cb(8, params);
+    cb.programValue(0, 0, FixedPoint::fromRaw(0xFFFF, 0));
+    cb.programValue(7, 7, FixedPoint::fromRaw(0x1234, 0));
+    EXPECT_EQ(cb.occupiedRows(), 2u);
+    cb.clear();
+    EXPECT_EQ(cb.occupiedRows(), 0u);
+    EXPECT_TRUE(cb.occupiedRowIndices().empty());
+    for (std::uint32_t r = 0; r < 8; ++r)
+        for (std::uint32_t c = 0; c < 8; ++c)
+            EXPECT_EQ(cb.storedRaw(r, c), 0u);
+
+    // Reprogram after clear: occupancy and results rebuild cleanly.
+    cb.programValue(3, 2, FixedPoint::fromRaw(7, 0));
+    std::vector<FixedPoint::Raw> x(8, 0);
+    x[3] = 2;
+    EXPECT_EQ(cb.mvmRaw(x)[2], 14u);
+}
+
+TEST(CrossbarOccupancyTest, VariationRngNeutralToZeroPrograms)
+{
+    // Two crossbars with the same variation seed and the same nonzero
+    // cells must read identically even if one of them additionally
+    // "programmed" zero values elsewhere: level-0 cells never consume
+    // an RNG draw, so the row skip cannot shift the noise stream.
+    DeviceParams params;
+    Crossbar a(8, params);
+    Crossbar b(8, params);
+    for (Crossbar *cb : {&a, &b}) {
+        cb->programValue(1, 3, FixedPoint::fromRaw(0x00F3, 0));
+        cb->programValue(5, 0, FixedPoint::fromRaw(0x1201, 0));
+    }
+    b.programValue(0, 0, FixedPoint::quantize(0.0, 0));
+    b.programValue(6, 6, FixedPoint::quantize(0.0, 0));
+    a.setVariation(1.5, 77);
+    b.setVariation(1.5, 77);
+
+    std::vector<FixedPoint::Raw> x(8);
+    for (std::uint32_t r = 0; r < 8; ++r)
+        x[r] = static_cast<FixedPoint::Raw>(r * 111 + 1);
+    for (int pass = 0; pass < 3; ++pass)
+        EXPECT_EQ(a.mvmRaw(x), b.mvmRaw(x)) << "pass " << pass;
+    EXPECT_EQ(a.selectRow(5), b.selectRow(5));
+}
+
 } // namespace
 } // namespace graphr
