@@ -9,11 +9,18 @@
  *              --scale 4 --out report.json
  *   graphr_run --algo all --backend all \
  *              --dataset rmat:vertices=4096,edges=32768 --matrix
+ *
+ * The `prepare` subcommand runs the paper's offline preprocessing
+ * ahead of time and persists the artifacts; `store stats` lists them:
+ *
+ *   graphr_run prepare --dataset wiki-vote --scale 4 --plan-dir plans/
+ *   graphr_run store stats --plan-dir plans/
  */
 
 #include <fstream>
 #include <iostream>
 
+#include "common/table.hh"
 #include "driver/cli.hh"
 #include "driver/run_result.hh"
 #include "graphr/config.hh"
@@ -33,6 +40,26 @@ main(int argc, char **argv)
         }
         if (opts.list) {
             std::cout << listText();
+            return 0;
+        }
+
+        if (opts.command == CliCommand::kPrepare) {
+            const std::vector<PrepareResult> prepared =
+                runPrepare(opts.prepare, &std::cerr);
+            graphr::TextTable table;
+            table.header({"dataset", "variant", "edges", "tiles",
+                          "artifact", "status"});
+            for (const PrepareResult &p : prepared) {
+                table.row({p.dataset, p.variant,
+                           std::to_string(p.edges),
+                           std::to_string(p.tiles), p.file,
+                           p.reused ? "reused" : "written"});
+            }
+            table.print(std::cout);
+            return 0;
+        }
+        if (opts.command == CliCommand::kStoreStats) {
+            std::cout << storeStatsText(opts.prepare.store);
             return 0;
         }
 
@@ -73,6 +100,10 @@ main(int argc, char **argv)
         return 1;
     } catch (const graphr::ConfigError &err) {
         // Backend construction validates GraphRConfig (config.hh).
+        std::cerr << "error: " << err.what() << "\n";
+        return 1;
+    } catch (const graphr::StoreError &err) {
+        // Plan-store I/O failure during prepare (artifact writes).
         std::cerr << "error: " << err.what() << "\n";
         return 1;
     }

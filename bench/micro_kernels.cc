@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "common/random.hh"
 #include "driver/driver.hh"
 #include "graph/generator.hh"
@@ -16,6 +18,7 @@
 #include "graphr/node.hh"
 #include "graphr/tile_meta.hh"
 #include "rram/crossbar.hh"
+#include "store/plan_store.hh"
 
 namespace
 {
@@ -158,6 +161,49 @@ BM_PlanCacheHit(benchmark::State &state)
     PlanCache::instance().clear();
 }
 BENCHMARK(BM_PlanCacheHit)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void
+BM_PlanStoreColdVsWarm(benchmark::State &state)
+{
+    // The cold-start win of the on-disk preprocessing store: arg 1
+    // selects a cold start (0: fingerprint + partition + O(E log E)
+    // sort + meta extraction, i.e. what a storeless process pays) or
+    // a warm start (1: validated artifact load through the store's
+    // mmap/chunked path — no sort at all).
+    const auto edges = static_cast<EdgeId>(state.range(0));
+    const bool warm = state.range(1) != 0;
+    const CooGraph g = makeRmat({.numVertices =
+                                     static_cast<VertexId>(edges / 8),
+                                 .numEdges = edges,
+                                 .seed = 5});
+    const TilingParams tiling;
+    const std::uint64_t fingerprint = graphFingerprint(g);
+
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         "graphr_bench_plan_store")
+            .string();
+    std::filesystem::remove_all(dir);
+    const PlanStore store(dir);
+    store.save(TilePlan(g, tiling), tiling);
+
+    for (auto _ : state) {
+        if (warm) {
+            benchmark::DoNotOptimize(store.load(fingerprint, tiling));
+        } else {
+            const TilePlan plan(g, tiling);
+            benchmark::DoNotOptimize(plan.ordered.numNonEmptyTiles());
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * edges);
+    state.SetLabel(warm ? "warm" : "cold");
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_PlanStoreColdVsWarm)
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({1000000, 0})
+    ->Args({1000000, 1});
 
 void
 BM_FunctionalPageRank(benchmark::State &state)

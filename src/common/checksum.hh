@@ -1,0 +1,72 @@
+/**
+ * @file
+ * FNV-1a 64-bit checksumming shared by the graph fingerprint and the
+ * on-disk plan store.
+ *
+ * One primitive serves both so they cannot drift: a store artifact is
+ * keyed by the graph fingerprint in its header and guarded by payload
+ * and header checksums, and all three are the same byte-wise FNV-1a
+ * fold. FNV-1a is not cryptographic — it guards against corruption
+ * and staleness, not adversaries, which is all a local artifact cache
+ * needs.
+ */
+
+#ifndef GRAPHR_COMMON_CHECKSUM_HH
+#define GRAPHR_COMMON_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace graphr
+{
+
+/** Streaming FNV-1a 64-bit hasher. */
+class Fnv1a64
+{
+  public:
+    static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
+    static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+    /** Fold @p size raw bytes into the state. */
+    void
+    update(const void *data, std::size_t size)
+    {
+        const auto *bytes = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            state_ ^= bytes[i];
+            state_ *= kPrime;
+        }
+    }
+
+    /**
+     * Fold one 64-bit word, least-significant byte first — the layout
+     * graphFingerprint() has always used, kept so fingerprints (and
+     * the store files keyed by them) stay stable.
+     */
+    void
+    updateWord(std::uint64_t word)
+    {
+        for (int i = 0; i < 8; ++i) {
+            state_ ^= (word >> (8 * i)) & 0xffu;
+            state_ *= kPrime;
+        }
+    }
+
+    std::uint64_t digest() const { return state_; }
+
+  private:
+    std::uint64_t state_ = kOffset;
+};
+
+/** One-shot FNV-1a 64 over a byte range. */
+inline std::uint64_t
+fnv1a64(const void *data, std::size_t size)
+{
+    Fnv1a64 h;
+    h.update(data, size);
+    return h.digest();
+}
+
+} // namespace graphr
+
+#endif // GRAPHR_COMMON_CHECKSUM_HH

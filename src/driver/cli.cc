@@ -37,7 +37,28 @@ parseCli(const std::vector<std::string> &args)
         return args[++i];
     };
 
-    for (std::size_t i = 0; i < args.size(); ++i) {
+    // A leading non-flag word selects a subcommand.
+    std::size_t first = 0;
+    if (!args.empty() && !args[0].empty() && args[0][0] != '-') {
+        if (args[0] == "prepare") {
+            opts.command = CliCommand::kPrepare;
+            first = 1;
+        } else if (args[0] == "store") {
+            if (args.size() < 2 || args[1] != "stats") {
+                throw DriverError(
+                    "store needs an action: 'store stats' "
+                    "(see --help)");
+            }
+            opts.command = CliCommand::kStoreStats;
+            first = 2;
+        } else {
+            throw DriverError("unknown subcommand '" + args[0] +
+                              "' (known: prepare, store stats; or "
+                              "flags for a run — see --help)");
+        }
+    }
+
+    for (std::size_t i = first; i < args.size(); ++i) {
         const std::string &arg = args[i];
         if (arg == "--algo" || arg == "-a") {
             opts.sweep.workloads = splitList(next(i, arg));
@@ -74,6 +95,10 @@ parseCli(const std::vector<std::string> &args)
             opts.sweep.backendOptions.numNodes = n;
         } else if (arg == "--functional") {
             opts.sweep.backendOptions.config.functional = true;
+        } else if (arg == "--plan-dir") {
+            opts.sweep.store.planDir = next(i, arg);
+            if (opts.sweep.store.planDir.empty())
+                throw DriverError("--plan-dir got an empty path");
         } else if (arg == "--out" || arg == "-o") {
             opts.outPath = next(i, arg);
         } else if (arg == "--matrix") {
@@ -88,12 +113,24 @@ parseCli(const std::vector<std::string> &args)
         }
     }
 
-    if (opts.sweep.datasets.empty()) {
+    if (opts.sweep.datasets.empty() &&
+        opts.command == CliCommand::kRun) {
         // A sensible default keeps `graphr_run --algo pagerank`
-        // usable without memorising the spec grammar.
+        // usable without memorising the spec grammar. The prepare
+        // subcommand instead requires explicit datasets: writing
+        // surprise artifacts for a default graph helps nobody.
         opts.sweep.datasets.push_back(
             "rmat:vertices=1024,edges=8192");
     }
+
+    // The prepare subcommand shares the flag surface; project the
+    // relevant fields onto its spec.
+    opts.prepare.datasets = opts.sweep.datasets;
+    opts.prepare.store = opts.sweep.store;
+    opts.prepare.scale = opts.sweep.scale;
+    opts.prepare.seed = opts.sweep.seed;
+    opts.prepare.jobs = opts.sweep.jobs;
+    opts.prepare.tiling = opts.sweep.backendOptions.config.tiling;
     return opts;
 }
 
@@ -102,7 +139,13 @@ usageText()
 {
     std::ostringstream os;
     os << "graphr_run — unified GraphR workload driver\n\n"
-       << "usage: graphr_run [flags]\n\n"
+       << "usage: graphr_run [subcommand] [flags]\n\n"
+       << "subcommands (default: execute a run/sweep):\n"
+       << "  prepare             offline preprocessing: sort/tile every\n"
+       << "                      --dataset and persist the plan\n"
+       << "                      artifacts into --plan-dir\n"
+       << "  store stats         list the artifacts in --plan-dir\n\n"
+       << "flags:\n"
        << "  --algo a[,b...]     workloads, or 'all' (default pagerank)\n"
        << "  --backend a[,b...]  backends, or 'all' (default graphr)\n"
        << "  --dataset spec      dataset; repeat the flag for several\n"
@@ -115,6 +158,9 @@ usageText()
        << "                      byte-identical at any job count\n"
        << "  --nodes n           multinode cluster size (default 4)\n"
        << "  --functional        bit-exact analog datapath (slow)\n"
+       << "  --plan-dir path     durable preprocessing store: runs load\n"
+       << "                      prepared plans from here (skipping the\n"
+       << "                      edge sort) and write new ones through\n"
        << "  --out path          write JSON report ('-' = stdout)\n"
        << "  --matrix            print workload x backend matrix\n"
        << "  --list              list workloads/backends/datasets\n"
@@ -125,7 +171,12 @@ usageText()
        << "  graphr_run --algo all --backend all "
           "--dataset rmat:vertices=4096,edges=32768 --matrix\n"
        << "  graphr_run --algo sssp --backend outofcore "
-          "--dataset grid:width=64,height=64 --param source=0\n";
+          "--dataset grid:width=64,height=64 --param source=0\n"
+       << "  graphr_run prepare --dataset wiki-vote --scale 4 "
+          "--plan-dir plans/\n"
+       << "  graphr_run --algo all --backend outofcore "
+          "--dataset wiki-vote --scale 4 --plan-dir plans/\n"
+       << "  graphr_run store stats --plan-dir plans/\n";
     return os.str();
 }
 

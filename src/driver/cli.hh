@@ -15,14 +15,26 @@
 #include <vector>
 
 #include "driver/driver.hh"
+#include "driver/prepare.hh"
 
 namespace graphr::driver
 {
 
+/** What a graphr_run invocation asks for. */
+enum class CliCommand
+{
+    kRun,        ///< default: execute a run/sweep
+    kPrepare,    ///< offline preprocessing into a plan store
+    kStoreStats, ///< list a plan store's artifacts
+};
+
 /** Parsed graphr_run invocation. */
 struct CliOptions
 {
+    CliCommand command = CliCommand::kRun;
     SweepSpec sweep;
+    /** Prepare subcommand spec (kPrepare; shares the flag surface). */
+    PrepareSpec prepare;
 
     /** Write the JSON report here ("" = no file, "-" = stdout). */
     std::string outPath;
@@ -50,6 +62,12 @@ struct CliOptions
 /**
  * Parse CLI arguments (argv without the program name).
  *
+ * Subcommands (first non-flag argument):
+ *   prepare             offline preprocessing: write plan artifacts
+ *                       for every --dataset into --plan-dir
+ *   store stats         list the artifacts in --plan-dir
+ * Unknown subcommands are a DriverError naming the known ones.
+ *
  * Flags:
  *   --algo a[,b...]     workloads ("all" = whole registry)
  *   --backend a[,b...]  backends ("all" = whole registry)
@@ -61,6 +79,7 @@ struct CliOptions
  *   --jobs n            parallel sweep workers (0 = hardware threads)
  *   --nodes n           cluster size for the multinode backend
  *   --functional        run GraphR backends in functional mode
+ *   --plan-dir path     durable plan store directory (see store/)
  *   --out path          write the JSON report ("-" = stdout)
  *   --matrix            print the workload x backend seconds matrix
  *   --list              list workloads/backends/datasets and exit

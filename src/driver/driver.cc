@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/thread_pool.hh"
+#include "graphr/engine/plan_cache.hh"
 
 namespace graphr::driver
 {
@@ -179,9 +180,26 @@ expandBackendNames(const std::vector<std::string> &names)
     return expandNames(names, allBackendNames(), "backend");
 }
 
+void
+installPlanStore(const StoreSpec &spec)
+{
+    if (spec.planDir.empty()) {
+        PlanCache::instance().setStore(nullptr);
+        return;
+    }
+    try {
+        PlanCache::instance().setStore(
+            std::make_shared<PlanStore>(spec.planDir));
+    } catch (const StoreError &err) {
+        throw DriverError(std::string("cannot use --plan-dir: ") +
+                          err.what());
+    }
+}
+
 RunResult
 runOne(const RunSpec &spec)
 {
+    installPlanStore(spec.store);
     const Workload workload = makeWorkload(spec.workload, spec.params);
     const ResolvedDataset dataset =
         resolveDataset(spec.dataset, spec.scale, spec.seed);
@@ -195,6 +213,7 @@ runSweep(const SweepSpec &spec, std::ostream *progress)
 {
     if (spec.datasets.empty())
         throw DriverError("sweep needs at least one dataset");
+    installPlanStore(spec.store);
 
     const std::vector<std::string> workload_names =
         expandWorkloadNames(spec.workloads);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "driver/backend.hh"
+#include "store/plan_store.hh"
 
 namespace graphr::driver
 {
@@ -36,6 +37,8 @@ struct RunSpec
     /** Generator seed for table/generator datasets. */
     std::uint64_t seed = 42;
     BackendOptions backendOptions;
+    /** Durable plan store (--plan-dir); empty planDir = none. */
+    StoreSpec store;
 };
 
 /** Execute one combination. Throws DriverError on bad names/params. */
@@ -61,6 +64,13 @@ struct SweepSpec
      * execution schedule.
      */
     std::uint32_t jobs = 1;
+    /**
+     * Durable plan store (--plan-dir): with a non-empty planDir every
+     * backend's preprocessing goes through the on-disk second level
+     * of PlanCache — cold runs write artifacts through, warm runs
+     * skip the O(E log E) sort. Empty = in-memory caching only.
+     */
+    StoreSpec store;
 };
 
 /**
@@ -76,6 +86,13 @@ std::vector<std::string>
 expandWorkloadNames(const std::vector<std::string> &names);
 std::vector<std::string>
 expandBackendNames(const std::vector<std::string> &names);
+
+/**
+ * Attach the described store to the process-wide PlanCache (detach
+ * when planDir is empty). Called by runOne/runSweep/runPrepare; maps
+ * an unusable directory onto DriverError with an actionable message.
+ */
+void installPlanStore(const StoreSpec &spec);
 
 } // namespace graphr::driver
 

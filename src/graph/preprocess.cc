@@ -1,12 +1,28 @@
 #include "preprocess.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
+#include <utility>
 
 #include "common/logging.hh"
 
 namespace graphr
 {
+
+namespace
+{
+
+/** Counts every O(E log E) preprocessing sort, process-wide. */
+std::atomic<std::uint64_t> g_sorts_performed{0};
+
+} // namespace
+
+std::uint64_t
+OrderedEdgeList::sortsPerformed()
+{
+    return g_sorts_performed.load(std::memory_order_relaxed);
+}
 
 OrderedEdgeList::OrderedEdgeList(const CooGraph &graph,
                                  const GridPartition &partition)
@@ -15,6 +31,7 @@ OrderedEdgeList::OrderedEdgeList(const CooGraph &graph,
     GRAPHR_ASSERT(graph.numVertices() == partition.numVertices(),
                   "partition built for |V|=", partition.numVertices(),
                   " but graph has |V|=", graph.numVertices());
+    g_sorts_performed.fetch_add(1, std::memory_order_relaxed);
 
     const std::span<const Edge> input = graph.edges();
     std::vector<std::uint64_t> keys(input.size());
@@ -44,6 +61,14 @@ OrderedEdgeList::OrderedEdgeList(const CooGraph &graph,
             ++tiles_.back().numEdges;
         }
     }
+}
+
+OrderedEdgeList::OrderedEdgeList(const GridPartition &partition,
+                                 std::vector<Edge> edges,
+                                 std::vector<TileSpan> tiles)
+    : partition_(partition), edges_(std::move(edges)),
+      tiles_(std::move(tiles))
+{
 }
 
 double

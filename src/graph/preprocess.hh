@@ -44,6 +44,17 @@ class OrderedEdgeList
      */
     OrderedEdgeList(const CooGraph &graph, const GridPartition &partition);
 
+    /**
+     * Adopt an already-ordered edge list and tile directory without
+     * re-sorting: the deserialisation path of the on-disk plan store.
+     * The caller (the store, after checksum validation) guarantees
+     * the parts were produced by the sorting constructor under an
+     * identical partition.
+     */
+    OrderedEdgeList(const GridPartition &partition,
+                    std::vector<Edge> edges,
+                    std::vector<TileSpan> tiles);
+
     const GridPartition &partition() const { return partition_; }
     std::span<const Edge> edges() const { return edges_; }
     std::span<const TileSpan> tiles() const { return tiles_; }
@@ -68,6 +79,13 @@ class OrderedEdgeList
 
     /** Non-empty tiles restricted to one block, in order. */
     std::vector<TileSpan> tilesOfBlock(std::uint64_t block_index) const;
+
+    /**
+     * Process-wide count of O(E log E) preprocessing sorts executed
+     * (the adopting constructor does not count). Lets tests assert a
+     * warm plan store makes a run sort-free.
+     */
+    static std::uint64_t sortsPerformed();
 
   private:
     GridPartition partition_;

@@ -1,5 +1,10 @@
 #include "plan_cache.hh"
 
+#include <utility>
+
+#include "common/logging.hh"
+#include "store/plan_store.hh"
+
 namespace graphr
 {
 
@@ -23,16 +28,49 @@ PlanCache::KeyHash::operator()(const Key &key) const
     return static_cast<std::size_t>(h ^ (h >> 32));
 }
 
+void
+PlanCache::setStore(std::shared_ptr<PlanStore> store)
+{
+    const std::lock_guard<std::mutex> lock(storeMutex_);
+    store_ = std::move(store);
+}
+
+std::shared_ptr<PlanStore>
+PlanCache::store() const
+{
+    const std::lock_guard<std::mutex> lock(storeMutex_);
+    return store_;
+}
+
 TilePlanPtr
 PlanCache::get(const CooGraph &graph, const TilingParams &tiling,
                bool *cache_hit)
 {
-    const Key key{graphFingerprint(graph), tiling.crossbarDim,
+    const std::uint64_t fingerprint = graphFingerprint(graph);
+    const Key key{fingerprint, tiling.crossbarDim,
                   tiling.crossbarsPerGe, tiling.numGe, tiling.blockSize};
+    // Snapshot once: the factory runs outside every cache lock.
+    const std::shared_ptr<PlanStore> store = this->store();
     return cache_.getOrBuild(
         key,
-        [&graph, &tiling] {
-            return std::make_shared<const TilePlan>(graph, tiling);
+        [&graph, &tiling, fingerprint, &store] {
+            if (store != nullptr) {
+                if (TilePlanPtr loaded = store->load(fingerprint, tiling))
+                    return loaded;
+            }
+            TilePlanPtr built =
+                std::make_shared<const TilePlan>(graph, tiling);
+            if (store != nullptr) {
+                // Write-through is best-effort: a full disk must not
+                // kill the run that could recompute the plan anyway.
+                try {
+                    store->save(*built, tiling);
+                } catch (const StoreError &err) {
+                    GRAPHR_WARN("plan store: ", err.what(),
+                                " — continuing without persisting");
+                }
+            }
+            return built;
         },
         cache_hit);
 }

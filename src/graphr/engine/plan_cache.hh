@@ -15,12 +15,16 @@
 #define GRAPHR_GRAPHR_ENGINE_PLAN_CACHE_HH
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 
 #include "common/lru_cache.hh"
 #include "graphr/engine/tile_plan.hh"
 
 namespace graphr
 {
+
+class PlanStore;
 
 /** LRU cache of TilePlans keyed by (graph fingerprint, tiling). */
 class PlanCache
@@ -43,6 +47,17 @@ class PlanCache
      */
     TilePlanPtr get(const CooGraph &graph, const TilingParams &tiling,
                     bool *cache_hit = nullptr);
+
+    /**
+     * Attach (or with nullptr detach) an on-disk second level. With a
+     * store attached, a memory miss first tries a validated store
+     * load (skipping the O(E log E) sort entirely) and a fresh
+     * prepare is written through to the store, best-effort.
+     */
+    void setStore(std::shared_ptr<PlanStore> store);
+
+    /** The attached store, if any. */
+    std::shared_ptr<PlanStore> store() const;
 
     /** Drop every entry and reset the statistics. */
     void clear() { cache_.clear(); }
@@ -83,6 +98,10 @@ class PlanCache
     };
 
     LruCache<Key, TilePlan, KeyHash> cache_;
+
+    /** Optional durable second level (store/plan_store.hh). */
+    mutable std::mutex storeMutex_;
+    std::shared_ptr<PlanStore> store_;
 };
 
 } // namespace graphr

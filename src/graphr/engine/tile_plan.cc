@@ -1,6 +1,10 @@
 #include "tile_plan.hh"
 
 #include <bit>
+#include <utility>
+
+#include "common/checksum.hh"
+#include "common/logging.hh"
 
 namespace graphr
 {
@@ -12,38 +16,34 @@ TilePlan::TilePlan(const CooGraph &graph, const TilingParams &tiling)
 {
 }
 
-namespace
+TilePlan::TilePlan(VertexId num_vertices, const TilingParams &tiling,
+                   std::vector<Edge> edges,
+                   std::vector<TileSpan> tile_spans,
+                   std::vector<TileMeta> tile_meta,
+                   std::uint64_t total_nnz,
+                   std::uint64_t graph_fingerprint)
+    : partition(num_vertices, tiling),
+      ordered(partition, std::move(edges), std::move(tile_spans)),
+      meta(std::move(tile_meta), total_nnz),
+      fingerprint(graph_fingerprint)
 {
-
-inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-/** Mix one 64-bit word into an FNV-1a state, byte by byte. */
-inline std::uint64_t
-fnvMix(std::uint64_t h, std::uint64_t word)
-{
-    for (int i = 0; i < 8; ++i) {
-        h ^= (word >> (8 * i)) & 0xffu;
-        h *= kFnvPrime;
-    }
-    return h;
+    GRAPHR_ASSERT(ordered.tiles().size() == meta.tiles().size(),
+                  "tile directory and metadata table disagree");
 }
-
-} // namespace
 
 std::uint64_t
 graphFingerprint(const CooGraph &graph)
 {
-    std::uint64_t h = kFnvOffset;
-    h = fnvMix(h, graph.numVertices());
-    h = fnvMix(h, graph.numEdges());
+    Fnv1a64 h;
+    h.updateWord(graph.numVertices());
+    h.updateWord(graph.numEdges());
     for (const Edge &e : graph.edges()) {
-        h = fnvMix(h, (static_cast<std::uint64_t>(e.src) << 32) |
-                          static_cast<std::uint64_t>(e.dst));
-        h = fnvMix(h, std::bit_cast<std::uint64_t>(
-                          static_cast<double>(e.weight)));
+        h.updateWord((static_cast<std::uint64_t>(e.src) << 32) |
+                     static_cast<std::uint64_t>(e.dst));
+        h.updateWord(std::bit_cast<std::uint64_t>(
+            static_cast<double>(e.weight)));
     }
-    return h;
+    return h.digest();
 }
 
 } // namespace graphr

@@ -41,6 +41,17 @@ struct TilePlan
     std::uint64_t fingerprint = 0;
 
     TilePlan(const CooGraph &graph, const TilingParams &tiling);
+
+    /**
+     * Assemble a plan from already-prepared parts (no sort): the
+     * deserialisation path of the on-disk plan store. The parts must
+     * come from a prior prepare under the same tiling — the store
+     * validates checksums and fingerprints before calling this.
+     */
+    TilePlan(VertexId num_vertices, const TilingParams &tiling,
+             std::vector<Edge> edges, std::vector<TileSpan> tile_spans,
+             std::vector<TileMeta> tile_meta, std::uint64_t total_nnz,
+             std::uint64_t graph_fingerprint);
 };
 
 /** Plans are shared (cache + concurrent runners): ref-counted const. */

@@ -1,0 +1,726 @@
+#include "plan_store.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <random>
+#include <type_traits>
+#include <utility>
+
+#include "common/checksum.hh"
+#include "common/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GRAPHR_STORE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace graphr
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr std::uint32_t kMagic = 'G' | ('P' << 8) | ('L' << 16) |
+                                 ('N' << 24);
+constexpr std::size_t kHeaderBytes = 88;
+/** Bytes of the header covered by the header checksum. */
+constexpr std::size_t kHeaderChecksummedBytes = kHeaderBytes - 8;
+constexpr std::size_t kEdgeRecordBytes = 4 + 4 + 8;
+constexpr std::size_t kSpanRecordBytes = 3 * 8;
+/** Fixed (pre-rowNnz) part of one serialised TileMeta record. */
+constexpr std::size_t kMetaFixedBytes = 4 * 8 + 2 * 4 + 2 * 8 + 4;
+
+/** Append-only little buffer builder for headers and payloads. */
+class ByteWriter
+{
+  public:
+    template <typename T>
+    void
+    raw(const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const std::size_t at = bytes_.size();
+        bytes_.resize(at + sizeof(T));
+        std::memcpy(bytes_.data() + at, &value, sizeof(T));
+    }
+
+    const std::vector<unsigned char> &bytes() const { return bytes_; }
+
+    void reserve(std::size_t n) { bytes_.reserve(n); }
+
+  private:
+    std::vector<unsigned char> bytes_;
+};
+
+/** Bounds-checked sequential reader over a validated byte range. */
+class ByteReader
+{
+  public:
+    ByteReader(const unsigned char *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    template <typename T>
+    bool
+    raw(T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (size_ - pos_ < sizeof(T))
+            return false;
+        std::memcpy(&value, data_ + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return true;
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+
+  private:
+    const unsigned char *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/** Decoded artifact header. */
+struct Header
+{
+    std::uint32_t version = 0;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t vertices = 0;
+    TilingParams tiling;
+    std::uint64_t edges = 0;
+    std::uint64_t tiles = 0;
+    std::uint64_t totalNnz = 0;
+    std::uint64_t payloadBytes = 0;
+    std::uint64_t payloadChecksum = 0;
+};
+
+/**
+ * Whole-file bytes, mmap'd where possible. The chunked-read fallback
+ * covers platforms without mmap and the GRAPHR_STORE_NO_MMAP=1
+ * escape hatch (used by tests to exercise both paths).
+ */
+class FileBytes
+{
+  public:
+    FileBytes() = default;
+    FileBytes(const FileBytes &) = delete;
+    FileBytes &operator=(const FileBytes &) = delete;
+
+    ~FileBytes()
+    {
+#ifdef GRAPHR_STORE_HAVE_MMAP
+        if (map_ != nullptr)
+            ::munmap(map_, mapSize_);
+#endif
+    }
+
+    /** Read (or map) a whole file; false on any I/O failure. */
+    bool
+    read(const std::string &path)
+    {
+#ifdef GRAPHR_STORE_HAVE_MMAP
+        const char *no_mmap = std::getenv("GRAPHR_STORE_NO_MMAP");
+        if (no_mmap == nullptr || no_mmap[0] == '\0' ||
+            no_mmap[0] == '0') {
+            if (readMapped(path))
+                return true;
+            // fall through to the buffered path on mmap failure
+        }
+#endif
+        return readBuffered(path);
+    }
+
+    const unsigned char *data() const { return data_; }
+    std::size_t size() const { return size_; }
+
+  private:
+#ifdef GRAPHR_STORE_HAVE_MMAP
+    bool
+    readMapped(const std::string &path)
+    {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0)
+            return false;
+        struct ::stat st = {};
+        if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+            ::close(fd);
+            return false;
+        }
+        if (st.st_size == 0) {
+            // Nothing to map; an empty artifact is simply invalid.
+            ::close(fd);
+            data_ = nullptr;
+            size_ = 0;
+            return true;
+        }
+        mapSize_ = static_cast<std::size_t>(st.st_size);
+        void *map =
+            ::mmap(nullptr, mapSize_, PROT_READ, MAP_PRIVATE, fd, 0);
+        ::close(fd);
+        if (map == MAP_FAILED) {
+            mapSize_ = 0;
+            return false;
+        }
+        map_ = map;
+        data_ = static_cast<const unsigned char *>(map);
+        size_ = mapSize_;
+        return true;
+    }
+#endif
+
+    bool
+    readBuffered(const std::string &path)
+    {
+        std::ifstream is(path, std::ios::binary);
+        if (!is)
+            return false;
+        constexpr std::size_t kChunk = 1 << 20;
+        buffer_.clear();
+        while (is) {
+            const std::size_t at = buffer_.size();
+            buffer_.resize(at + kChunk);
+            is.read(reinterpret_cast<char *>(buffer_.data() + at),
+                    static_cast<std::streamsize>(kChunk));
+            buffer_.resize(at +
+                           static_cast<std::size_t>(is.gcount()));
+        }
+        if (!is.eof())
+            return false;
+        data_ = buffer_.data();
+        size_ = buffer_.size();
+        return true;
+    }
+
+    std::vector<unsigned char> buffer_;
+#ifdef GRAPHR_STORE_HAVE_MMAP
+    void *map_ = nullptr;
+    std::size_t mapSize_ = 0;
+#endif
+    const unsigned char *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+void
+encodeHeader(ByteWriter &w, const Header &h)
+{
+    w.raw(kMagic);
+    w.raw(h.version);
+    w.raw(h.fingerprint);
+    w.raw(h.vertices);
+    w.raw(h.tiling.crossbarDim);
+    w.raw(h.tiling.crossbarsPerGe);
+    w.raw(h.tiling.numGe);
+    w.raw(h.tiling.blockSize);
+    w.raw(h.edges);
+    w.raw(h.tiles);
+    w.raw(h.totalNnz);
+    w.raw(h.payloadBytes);
+    w.raw(h.payloadChecksum);
+    w.raw(fnv1a64(w.bytes().data(), kHeaderChecksummedBytes));
+}
+
+/**
+ * Decode and structurally validate a header. On failure fills
+ * @p issue and returns false. Validation order matters: the magic
+ * identifies the file type, the version gates the layout (an unknown
+ * version cannot be checksum-verified against this layout), and only
+ * then are checksums meaningful.
+ */
+bool
+decodeHeader(const unsigned char *data, std::size_t size, Header &h,
+             std::string &issue)
+{
+    if (size < kHeaderBytes) {
+        issue = "truncated header (" + std::to_string(size) +
+                " bytes, need " + std::to_string(kHeaderBytes) + ")";
+        return false;
+    }
+    ByteReader r(data, kHeaderBytes);
+    std::uint32_t magic = 0;
+    r.raw(magic);
+    if (magic != kMagic) {
+        issue = "not a plan artifact (bad magic)";
+        return false;
+    }
+    r.raw(h.version);
+    if (h.version != PlanStore::kFormatVersion) {
+        issue = "unsupported format version " +
+                std::to_string(h.version) + " (expected " +
+                std::to_string(PlanStore::kFormatVersion) + ")";
+        return false;
+    }
+    r.raw(h.fingerprint);
+    r.raw(h.vertices);
+    r.raw(h.tiling.crossbarDim);
+    r.raw(h.tiling.crossbarsPerGe);
+    r.raw(h.tiling.numGe);
+    r.raw(h.tiling.blockSize);
+    r.raw(h.edges);
+    r.raw(h.tiles);
+    r.raw(h.totalNnz);
+    r.raw(h.payloadBytes);
+    r.raw(h.payloadChecksum);
+    std::uint64_t header_checksum = 0;
+    r.raw(header_checksum);
+    if (fnv1a64(data, kHeaderChecksummedBytes) != header_checksum) {
+        issue = "header checksum mismatch";
+        return false;
+    }
+    if (size - kHeaderBytes != h.payloadBytes) {
+        issue = "payload size mismatch (header says " +
+                std::to_string(h.payloadBytes) + ", file has " +
+                std::to_string(size - kHeaderBytes) + ")";
+        return false;
+    }
+    // Field sanity, mirroring GraphRConfig::validate and
+    // GridPartition's preconditions: an accepted header must be safe
+    // to build a partition from and to size allocations by (a
+    // checksummed file can still come from a buggy writer).
+    if (h.vertices == 0 ||
+        h.vertices > std::numeric_limits<VertexId>::max()) {
+        issue = "vertex count out of range";
+        return false;
+    }
+    if (h.tiling.crossbarDim == 0 || h.tiling.crossbarDim > 64 ||
+        h.tiling.crossbarsPerGe == 0 || h.tiling.numGe == 0) {
+        issue = "tiling parameters out of range";
+        return false;
+    }
+    const std::uint64_t cxn =
+        static_cast<std::uint64_t>(h.tiling.crossbarDim) *
+        h.tiling.crossbarsPerGe;
+    if (cxn > std::numeric_limits<std::uint64_t>::max() /
+                  h.tiling.numGe) {
+        issue = "tile width overflows";
+        return false;
+    }
+    return true;
+}
+
+void
+serializePayload(ByteWriter &w, const TilePlan &plan)
+{
+    const std::span<const Edge> edges = plan.ordered.edges();
+    const std::span<const TileSpan> spans = plan.ordered.tiles();
+    const std::vector<TileMeta> &meta = plan.meta.tiles();
+
+    std::size_t meta_bytes = 0;
+    for (const TileMeta &m : meta)
+        meta_bytes += kMetaFixedBytes + m.rowNnz.size() * 4;
+    w.reserve(edges.size() * kEdgeRecordBytes +
+              spans.size() * kSpanRecordBytes + meta_bytes);
+
+    for (const Edge &e : edges) {
+        w.raw(e.src);
+        w.raw(e.dst);
+        w.raw(static_cast<double>(e.weight));
+    }
+    for (const TileSpan &s : spans) {
+        w.raw(s.tileIndex);
+        w.raw(s.firstEdge);
+        w.raw(s.numEdges);
+    }
+    for (const TileMeta &m : meta) {
+        w.raw(m.tileIndex);
+        w.raw(m.row0);
+        w.raw(m.col0);
+        w.raw(m.nnz);
+        w.raw(m.crossbarsUsed);
+        w.raw(m.maxRowsProgrammed);
+        w.raw(m.rowMask);
+        w.raw(m.nnzColumns);
+        w.raw(static_cast<std::uint32_t>(m.rowNnz.size()));
+        for (const std::uint32_t n : m.rowNnz)
+            w.raw(n);
+    }
+}
+
+/** Deserialised payload, ready to assemble into a TilePlan. */
+struct PayloadParts
+{
+    std::vector<Edge> edges;
+    std::vector<TileSpan> spans;
+    std::vector<TileMeta> meta;
+};
+
+/**
+ * Parse a checksum-verified payload. Structural and semantic bounds
+ * are still checked (a checksummed file can legitimately come from a
+ * buggy writer), so every accepted plan is safe for downstream
+ * consumers — every failure is a reject, never UB, an abort, or an
+ * unbounded allocation.
+ */
+bool
+parsePayload(const Header &h, const unsigned char *data,
+             std::size_t size, PayloadParts &parts, std::string &issue)
+{
+    // Cheap overflow-safe bound before any allocation: the fixed
+    // records alone must fit in the declared payload.
+    if (h.edges > size / kEdgeRecordBytes ||
+        h.tiles > size / kSpanRecordBytes) {
+        issue = "record counts exceed payload size";
+        return false;
+    }
+    // Safe after decodeHeader's tiling/vertex validation.
+    const GridPartition part(static_cast<VertexId>(h.vertices),
+                             h.tiling);
+    ByteReader r(data, size);
+
+    parts.edges.resize(h.edges);
+    for (Edge &e : parts.edges) {
+        double weight = 0.0;
+        if (!r.raw(e.src) || !r.raw(e.dst) || !r.raw(weight)) {
+            issue = "truncated edge records";
+            return false;
+        }
+        if (e.src >= h.vertices || e.dst >= h.vertices) {
+            issue = "edge endpoint outside the vertex range";
+            return false;
+        }
+        e.weight = weight;
+    }
+    parts.spans.resize(h.tiles);
+    std::uint64_t covered = 0; ///< edges accounted for by spans
+    std::uint64_t prev_tile = 0;
+    for (std::size_t i = 0; i < parts.spans.size(); ++i) {
+        TileSpan &s = parts.spans[i];
+        if (!r.raw(s.tileIndex) || !r.raw(s.firstEdge) ||
+            !r.raw(s.numEdges)) {
+            issue = "truncated tile directory";
+            return false;
+        }
+        // The computing path emits non-empty tiles, contiguous over
+        // the whole edge list, in strictly increasing tile order —
+        // require the same canonical shape back.
+        if (s.numEdges == 0 || s.firstEdge != covered ||
+            s.numEdges > h.edges - covered) {
+            issue = "tile directory is not a contiguous cover of "
+                    "the edge list";
+            return false;
+        }
+        if (s.tileIndex >= part.numTiles() ||
+            (i > 0 && s.tileIndex <= prev_tile)) {
+            issue = "tile directory out of streaming order";
+            return false;
+        }
+        prev_tile = s.tileIndex;
+        covered += s.numEdges;
+    }
+    if (covered != h.edges) {
+        issue = "tile directory is not a contiguous cover of "
+                "the edge list";
+        return false;
+    }
+    parts.meta.resize(h.tiles);
+    std::uint64_t total_nnz = 0;
+    for (std::size_t i = 0; i < parts.meta.size(); ++i) {
+        TileMeta &m = parts.meta[i];
+        std::uint32_t row_nnz_len = 0;
+        if (!r.raw(m.tileIndex) || !r.raw(m.row0) || !r.raw(m.col0) ||
+            !r.raw(m.nnz) || !r.raw(m.crossbarsUsed) ||
+            !r.raw(m.maxRowsProgrammed) || !r.raw(m.rowMask) ||
+            !r.raw(m.nnzColumns) || !r.raw(row_nnz_len)) {
+            issue = "truncated tile metadata";
+            return false;
+        }
+        if (row_nnz_len != h.tiling.crossbarDim) {
+            issue = "tile metadata row count disagrees with tiling";
+            return false;
+        }
+        const TileSpan &s = parts.spans[i];
+        if (m.tileIndex != s.tileIndex || m.nnz != s.numEdges) {
+            issue = "tile metadata disagrees with the tile directory";
+            return false;
+        }
+        // Every edge of the tile must sit inside the tile's window —
+        // the guarantee GraphEngineArray::programTile and the
+        // out-of-core block accounting rely on (unsigned wraparound
+        // also catches src/dst below the origin).
+        for (std::uint64_t e = s.firstEdge;
+             e < s.firstEdge + s.numEdges; ++e) {
+            if (parts.edges[e].src - m.row0 >= h.tiling.crossbarDim ||
+                parts.edges[e].dst - m.col0 >= part.tileWidth()) {
+                issue = "tile metadata outside its tile window";
+                return false;
+            }
+        }
+        m.rowNnz.resize(row_nnz_len);
+        for (std::uint32_t &n : m.rowNnz) {
+            if (!r.raw(n)) {
+                issue = "truncated tile metadata rows";
+                return false;
+            }
+        }
+        total_nnz += m.nnz;
+    }
+    if (r.remaining() != 0) {
+        issue = "trailing bytes after payload";
+        return false;
+    }
+    if (total_nnz != h.totalNnz) {
+        issue = "total nnz disagrees with header";
+        return false;
+    }
+    return true;
+}
+
+/** Unique temporary suffix so concurrent saves never collide. */
+std::string
+tempSuffix()
+{
+#ifdef GRAPHR_STORE_HAVE_MMAP
+    const unsigned long uniq = static_cast<unsigned long>(::getpid());
+#else
+    // No pid available: a per-process random token keeps temp names
+    // from colliding across processes sharing one store directory.
+    static const unsigned long uniq = [] {
+        std::random_device rd;
+        return static_cast<unsigned long>(rd()) << 16 ^ rd();
+    }();
+#endif
+    static std::atomic<std::uint64_t> counter{0};
+    return ".tmp-" + std::to_string(uniq) + "-" +
+           std::to_string(
+               counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+} // namespace
+
+PlanStore::PlanStore(const std::string &directory, Mode mode)
+    : directory_(directory)
+{
+    if (directory_.empty())
+        throw StoreError("plan store directory must not be empty");
+
+    std::error_code ec;
+    if (fs::exists(directory_, ec) && !fs::is_directory(directory_, ec)) {
+        throw StoreError("plan store path '" + directory_ +
+                         "' exists but is not a directory");
+    }
+    if (mode == Mode::kReadOnly) {
+        if (!fs::is_directory(directory_, ec)) {
+            throw StoreError("plan store directory '" + directory_ +
+                             "' does not exist");
+        }
+        return;
+    }
+    fs::create_directories(directory_, ec);
+    if (ec) {
+        throw StoreError("cannot create plan store directory '" +
+                         directory_ + "': " + ec.message());
+    }
+    // Probe writability now so an unwritable --plan-dir fails with an
+    // actionable message up front, not mid-sweep at the first save.
+    const std::string probe =
+        (fs::path(directory_) / (".probe" + tempSuffix())).string();
+    {
+        std::ofstream os(probe, std::ios::binary);
+        if (!os) {
+            throw StoreError("plan store directory '" + directory_ +
+                             "' is not writable");
+        }
+    }
+    fs::remove(probe, ec);
+}
+
+std::string
+PlanStore::fileName(std::uint64_t fingerprint,
+                    const TilingParams &tiling)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "plan-%016llx-c%u-n%u-g%u-b%u.gplan",
+                  static_cast<unsigned long long>(fingerprint),
+                  tiling.crossbarDim, tiling.crossbarsPerGe,
+                  tiling.numGe, tiling.blockSize);
+    return buf;
+}
+
+std::string
+PlanStore::path(std::uint64_t fingerprint,
+                const TilingParams &tiling) const
+{
+    return (fs::path(directory_) / fileName(fingerprint, tiling))
+        .string();
+}
+
+bool
+PlanStore::contains(std::uint64_t fingerprint,
+                    const TilingParams &tiling) const
+{
+    std::error_code ec;
+    return fs::exists(path(fingerprint, tiling), ec);
+}
+
+TilePlanPtr
+PlanStore::load(std::uint64_t fingerprint,
+                const TilingParams &tiling) const
+{
+    const std::string file = path(fingerprint, tiling);
+    std::error_code ec;
+    if (!fs::exists(file, ec)) {
+        loadMisses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+
+    const auto reject = [this, &file](const std::string &why) {
+        loadRejects_.fetch_add(1, std::memory_order_relaxed);
+        GRAPHR_WARN("plan store: ignoring ", file, ": ", why,
+                    " — preparing afresh");
+        return nullptr;
+    };
+
+    FileBytes bytes;
+    if (!bytes.read(file))
+        return reject("unreadable");
+
+    Header h;
+    std::string issue;
+    if (!decodeHeader(bytes.data(), bytes.size(), h, issue))
+        return reject(issue);
+    if (h.fingerprint != fingerprint)
+        return reject("stale graph fingerprint");
+    if (h.tiling.crossbarDim != tiling.crossbarDim ||
+        h.tiling.crossbarsPerGe != tiling.crossbarsPerGe ||
+        h.tiling.numGe != tiling.numGe ||
+        h.tiling.blockSize != tiling.blockSize)
+        return reject("tiling mismatch");
+
+    const unsigned char *payload = bytes.data() + kHeaderBytes;
+    const std::size_t payload_size = bytes.size() - kHeaderBytes;
+    if (fnv1a64(payload, payload_size) != h.payloadChecksum)
+        return reject("payload checksum mismatch");
+
+    PayloadParts parts;
+    if (!parsePayload(h, payload, payload_size, parts, issue))
+        return reject(issue);
+
+    TilePlanPtr plan = std::make_shared<const TilePlan>(
+        static_cast<VertexId>(h.vertices), h.tiling,
+        std::move(parts.edges), std::move(parts.spans),
+        std::move(parts.meta), h.totalNnz, h.fingerprint);
+    loadHits_.fetch_add(1, std::memory_order_relaxed);
+    return plan;
+}
+
+std::string
+PlanStore::save(const TilePlan &plan, const TilingParams &tiling) const
+{
+    ByteWriter payload;
+    serializePayload(payload, plan);
+
+    Header h;
+    h.version = kFormatVersion;
+    h.fingerprint = plan.fingerprint;
+    h.vertices = plan.partition.numVertices();
+    h.tiling = tiling;
+    h.edges = plan.ordered.edges().size();
+    h.tiles = plan.ordered.tiles().size();
+    h.totalNnz = plan.meta.totalNnz();
+    h.payloadBytes = payload.bytes().size();
+    h.payloadChecksum =
+        fnv1a64(payload.bytes().data(), payload.bytes().size());
+
+    ByteWriter header;
+    encodeHeader(header, h);
+    GRAPHR_ASSERT(header.bytes().size() == kHeaderBytes,
+                  "header layout drifted");
+
+    const std::string final_path = path(plan.fingerprint, tiling);
+    const std::string tmp_path = final_path + tempSuffix();
+    {
+        std::ofstream os(tmp_path, std::ios::binary);
+        if (!os) {
+            throw StoreError("cannot write plan artifact '" +
+                             tmp_path + "'");
+        }
+        os.write(
+            reinterpret_cast<const char *>(header.bytes().data()),
+            static_cast<std::streamsize>(header.bytes().size()));
+        os.write(
+            reinterpret_cast<const char *>(payload.bytes().data()),
+            static_cast<std::streamsize>(payload.bytes().size()));
+        os.close();
+        if (!os) {
+            std::error_code ec;
+            fs::remove(tmp_path, ec);
+            throw StoreError("failed writing plan artifact '" +
+                             tmp_path + "'");
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        const std::string reason = ec.message();
+        fs::remove(tmp_path, ec);
+        throw StoreError("cannot move plan artifact into place at '" +
+                         final_path + "': " + reason);
+    }
+    saves_.fetch_add(1, std::memory_order_relaxed);
+    return final_path;
+}
+
+std::vector<PlanArtifactInfo>
+PlanStore::list() const
+{
+    std::vector<PlanArtifactInfo> out;
+    std::error_code ec;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(directory_, ec)) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        const fs::path &p = entry.path();
+        if (p.extension() != ".gplan")
+            continue;
+
+        PlanArtifactInfo info;
+        info.file = p.filename().string();
+        info.bytes = entry.file_size(ec);
+
+        FileBytes bytes;
+        if (!bytes.read(p.string())) {
+            info.issue = "unreadable";
+            out.push_back(std::move(info));
+            continue;
+        }
+        Header h;
+        std::string issue;
+        if (decodeHeader(bytes.data(), bytes.size(), h, issue)) {
+            info.fingerprint = h.fingerprint;
+            info.tiling = h.tiling;
+            info.vertices = h.vertices;
+            info.edges = h.edges;
+            info.tiles = h.tiles;
+            const unsigned char *payload =
+                bytes.data() + kHeaderBytes;
+            const std::size_t payload_size =
+                bytes.size() - kHeaderBytes;
+            PayloadParts parts;
+            if (fnv1a64(payload, payload_size) != h.payloadChecksum)
+                issue = "payload checksum mismatch";
+            else if (parsePayload(h, payload, payload_size, parts,
+                                  issue))
+                info.valid = true;
+        }
+        info.issue = info.valid ? "" : issue;
+        out.push_back(std::move(info));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const PlanArtifactInfo &a, const PlanArtifactInfo &b) {
+                  return a.file < b.file;
+              });
+    return out;
+}
+
+} // namespace graphr

@@ -337,6 +337,59 @@ TEST(CliTest, FunctionalFlagSetsConfig)
     EXPECT_TRUE(opts.sweep.backendOptions.config.functional);
 }
 
+TEST(CliTest, PlanDirFlagPlumbsTheStore)
+{
+    const CliOptions opts = parseCli({"--plan-dir", "plans"});
+    EXPECT_EQ(opts.command, CliCommand::kRun);
+    EXPECT_EQ(opts.sweep.store.planDir, "plans");
+    EXPECT_THROW(parseCli({"--plan-dir", ""}), DriverError);
+    EXPECT_THROW(parseCli({"--plan-dir"}), DriverError);
+}
+
+TEST(CliTest, PrepareSubcommandProjectsItsSpec)
+{
+    const CliOptions opts = parseCli(
+        {"prepare", "--dataset", "wiki-vote", "--dataset", "chain:n=8",
+         "--plan-dir", "plans", "--scale", "4", "--seed", "7",
+         "--jobs", "3"});
+    EXPECT_EQ(opts.command, CliCommand::kPrepare);
+    EXPECT_EQ(opts.prepare.datasets,
+              (std::vector<std::string>{"wiki-vote", "chain:n=8"}));
+    EXPECT_EQ(opts.prepare.store.planDir, "plans");
+    EXPECT_DOUBLE_EQ(opts.prepare.scale, 4.0);
+    EXPECT_EQ(opts.prepare.seed, 7u);
+    EXPECT_EQ(opts.prepare.jobs, 3u);
+    EXPECT_TRUE(opts.prepare.symmetrized);
+    // No surprise default dataset for prepare.
+    EXPECT_TRUE(parseCli({"prepare", "--plan-dir", "p"})
+                    .prepare.datasets.empty());
+}
+
+TEST(CliTest, StoreStatsSubcommand)
+{
+    const CliOptions opts =
+        parseCli({"store", "stats", "--plan-dir", "plans"});
+    EXPECT_EQ(opts.command, CliCommand::kStoreStats);
+    EXPECT_EQ(opts.prepare.store.planDir, "plans");
+    // 'store' without an action is an error naming the known one.
+    EXPECT_THROW(parseCli({"store"}), DriverError);
+    EXPECT_THROW(parseCli({"store", "prune"}), DriverError);
+}
+
+TEST(CliTest, UnknownSubcommandNamesTheKnownOnes)
+{
+    try {
+        parseCli({"frobnicate"});
+        FAIL() << "expected DriverError";
+    } catch (const DriverError &err) {
+        const std::string msg = err.what();
+        EXPECT_NE(msg.find("unknown subcommand 'frobnicate'"),
+                  std::string::npos);
+        EXPECT_NE(msg.find("prepare"), std::string::npos);
+        EXPECT_NE(msg.find("store stats"), std::string::npos);
+    }
+}
+
 // ----------------------------------------------------------- end-to-end
 
 TEST(DriverRunTest, SingleRunProducesWork)

@@ -1,0 +1,560 @@
+/**
+ * @file
+ * Tests for the on-disk preprocessing store: artifact round-trips,
+ * every corruption/mismatch path degrading to a fresh prepare (never
+ * a crash, identical results), write-through from PlanCache, the
+ * zero-sort warm-start guarantee for out-of-core sweeps, and
+ * cold-vs-warm-vs-no-store byte-identical golden JSON at --jobs 1
+ * and 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "driver/driver.hh"
+#include "driver/prepare.hh"
+#include "driver/run_result.hh"
+#include "graph/generator.hh"
+#include "graph/preprocess.hh"
+#include "graphr/engine/plan_cache.hh"
+#include "store/plan_store.hh"
+
+namespace graphr
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Small fixed-seed graph reused across the suite. */
+CooGraph
+testGraph()
+{
+    return makeRmat({.numVertices = 128, .numEdges = 1024, .seed = 9});
+}
+
+/** Fresh, empty store directory under the gtest temp root. */
+std::string
+freshDir(const std::string &name)
+{
+    const fs::path dir = fs::path(::testing::TempDir()) /
+                         ("plan_store_" + name);
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+void
+expectPlansEqual(const TilePlan &a, const TilePlan &b)
+{
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.partition.numVertices(), b.partition.numVertices());
+    EXPECT_EQ(a.partition.blockSize(), b.partition.blockSize());
+
+    ASSERT_EQ(a.ordered.edges().size(), b.ordered.edges().size());
+    for (std::size_t i = 0; i < a.ordered.edges().size(); ++i) {
+        EXPECT_EQ(a.ordered.edges()[i], b.ordered.edges()[i])
+            << "edge " << i;
+    }
+    ASSERT_EQ(a.ordered.tiles().size(), b.ordered.tiles().size());
+    for (std::size_t i = 0; i < a.ordered.tiles().size(); ++i) {
+        EXPECT_EQ(a.ordered.tiles()[i].tileIndex,
+                  b.ordered.tiles()[i].tileIndex);
+        EXPECT_EQ(a.ordered.tiles()[i].firstEdge,
+                  b.ordered.tiles()[i].firstEdge);
+        EXPECT_EQ(a.ordered.tiles()[i].numEdges,
+                  b.ordered.tiles()[i].numEdges);
+    }
+    EXPECT_EQ(a.meta.totalNnz(), b.meta.totalNnz());
+    ASSERT_EQ(a.meta.tiles().size(), b.meta.tiles().size());
+    for (std::size_t i = 0; i < a.meta.tiles().size(); ++i) {
+        const TileMeta &ma = a.meta.tiles()[i];
+        const TileMeta &mb = b.meta.tiles()[i];
+        EXPECT_EQ(ma.tileIndex, mb.tileIndex);
+        EXPECT_EQ(ma.row0, mb.row0);
+        EXPECT_EQ(ma.col0, mb.col0);
+        EXPECT_EQ(ma.nnz, mb.nnz);
+        EXPECT_EQ(ma.crossbarsUsed, mb.crossbarsUsed);
+        EXPECT_EQ(ma.maxRowsProgrammed, mb.maxRowsProgrammed);
+        EXPECT_EQ(ma.rowMask, mb.rowMask);
+        EXPECT_EQ(ma.nnzColumns, mb.nnzColumns);
+        EXPECT_EQ(ma.rowNnz, mb.rowNnz);
+    }
+}
+
+/** Isolates the process-wide PlanCache (store detached, entries
+ *  dropped) around every test in the suite. */
+class PlanStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        PlanCache::instance().setStore(nullptr);
+        PlanCache::instance().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        PlanCache::instance().setStore(nullptr);
+        PlanCache::instance().clear();
+    }
+};
+
+TEST_F(PlanStoreTest, RoundTripPreservesEveryArtifactField)
+{
+    const std::string dir = freshDir("roundtrip");
+    const CooGraph g = testGraph();
+    const TilingParams tiling;
+    const TilePlan direct(g, tiling);
+
+    PlanStore store(dir);
+    store.save(direct, tiling);
+    EXPECT_TRUE(store.contains(direct.fingerprint, tiling));
+
+    const TilePlanPtr loaded = store.load(direct.fingerprint, tiling);
+    ASSERT_NE(loaded, nullptr);
+    expectPlansEqual(direct, *loaded);
+    EXPECT_EQ(store.stats().loadHits, 1u);
+    EXPECT_EQ(store.stats().saves, 1u);
+}
+
+TEST_F(PlanStoreTest, ChunkedReadFallbackMatchesMmap)
+{
+    const std::string dir = freshDir("nommap");
+    const CooGraph g = testGraph();
+    const TilingParams tiling;
+    const TilePlan direct(g, tiling);
+    PlanStore store(dir);
+    store.save(direct, tiling);
+
+    ::setenv("GRAPHR_STORE_NO_MMAP", "1", 1);
+    const TilePlanPtr loaded = store.load(direct.fingerprint, tiling);
+    ::unsetenv("GRAPHR_STORE_NO_MMAP");
+    ASSERT_NE(loaded, nullptr);
+    expectPlansEqual(direct, *loaded);
+}
+
+TEST_F(PlanStoreTest, SaveIsAtomicNoTemporariesSurvive)
+{
+    const std::string dir = freshDir("atomic");
+    const CooGraph g = testGraph();
+    const TilingParams tiling;
+    PlanStore store(dir);
+    store.save(TilePlan(g, tiling), tiling);
+
+    std::size_t files = 0;
+    for (const fs::directory_entry &e : fs::directory_iterator(dir)) {
+        ++files;
+        EXPECT_EQ(e.path().extension(), ".gplan") << e.path();
+    }
+    EXPECT_EQ(files, 1u);
+}
+
+TEST_F(PlanStoreTest, MissingArtifactIsAMiss)
+{
+    PlanStore store(freshDir("miss"));
+    EXPECT_EQ(store.load(0x1234u, TilingParams{}), nullptr);
+    EXPECT_EQ(store.stats().loadMisses, 1u);
+    EXPECT_EQ(store.stats().loadRejects, 0u);
+}
+
+TEST_F(PlanStoreTest, UnusableDirectoriesThrowActionableErrors)
+{
+    // A path that exists but is a file.
+    const std::string file_path =
+        freshDir("not_a_dir_parent") + "_file";
+    {
+        fs::create_directories(fs::path(file_path).parent_path());
+        std::ofstream os(file_path);
+        os << "x";
+    }
+    try {
+        PlanStore store(file_path);
+        FAIL() << "expected StoreError";
+    } catch (const StoreError &err) {
+        EXPECT_NE(std::string(err.what()).find("not a directory"),
+                  std::string::npos);
+    }
+    // Read-only mode on a missing directory names the path.
+    try {
+        PlanStore store(freshDir("absent"), PlanStore::Mode::kReadOnly);
+        FAIL() << "expected StoreError";
+    } catch (const StoreError &err) {
+        EXPECT_NE(std::string(err.what()).find("does not exist"),
+                  std::string::npos);
+    }
+}
+
+// ------------------------------------------------ corruption paths
+//
+// Every corrupted or mismatched artifact must degrade to a fresh
+// prepare through PlanCache — same results, one more sort, no crash.
+
+/** Path of the single artifact saved for (g, tiling) in dir. */
+std::string
+artifactPath(const std::string &dir, const TilePlan &plan,
+             const TilingParams &tiling)
+{
+    return (fs::path(dir) /
+            PlanStore::fileName(plan.fingerprint, tiling))
+        .string();
+}
+
+/** Assert a store whose artifact was damaged falls back cleanly. */
+void
+expectFreshPrepareFallback(const std::string &dir, const CooGraph &g,
+                           const TilingParams &tiling,
+                           const TilePlan &direct)
+{
+    PlanStore store(dir);
+    EXPECT_EQ(store.load(direct.fingerprint, tiling), nullptr);
+    EXPECT_GE(store.stats().loadRejects, 1u);
+
+    // End to end: PlanCache with this store attached re-prepares and
+    // produces an identical plan.
+    PlanCache cache;
+    cache.setStore(std::make_shared<PlanStore>(dir));
+    const std::uint64_t sorts_before =
+        OrderedEdgeList::sortsPerformed();
+    const TilePlanPtr plan = cache.get(g, tiling);
+    EXPECT_EQ(OrderedEdgeList::sortsPerformed(), sorts_before + 1)
+        << "fallback must re-run the preprocessing sort";
+    expectPlansEqual(direct, *plan);
+}
+
+TEST_F(PlanStoreTest, TruncatedFileFallsBackToFreshPrepare)
+{
+    const std::string dir = freshDir("truncated");
+    const CooGraph g = testGraph();
+    const TilingParams tiling;
+    const TilePlan direct(g, tiling);
+    PlanStore(dir).save(direct, tiling);
+
+    const std::string file = artifactPath(dir, direct, tiling);
+    fs::resize_file(file, fs::file_size(file) - 7);
+    expectFreshPrepareFallback(dir, g, tiling, direct);
+
+    // Truncated into the header too.
+    fs::resize_file(file, 10);
+    expectFreshPrepareFallback(dir, g, tiling, direct);
+}
+
+TEST_F(PlanStoreTest, FlippedPayloadByteFallsBackToFreshPrepare)
+{
+    const std::string dir = freshDir("bitflip");
+    const CooGraph g = testGraph();
+    const TilingParams tiling;
+    const TilePlan direct(g, tiling);
+    PlanStore(dir).save(direct, tiling);
+
+    const std::string file = artifactPath(dir, direct, tiling);
+    std::fstream io(file,
+                    std::ios::in | std::ios::out | std::ios::binary);
+    io.seekp(100); // inside the edge records
+    char byte = 0;
+    io.seekg(100);
+    io.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    io.seekp(100);
+    io.write(&byte, 1);
+    io.close();
+
+    expectFreshPrepareFallback(dir, g, tiling, direct);
+}
+
+TEST_F(PlanStoreTest, WrongFormatVersionFallsBackToFreshPrepare)
+{
+    const std::string dir = freshDir("version");
+    const CooGraph g = testGraph();
+    const TilingParams tiling;
+    const TilePlan direct(g, tiling);
+    PlanStore(dir).save(direct, tiling);
+
+    // The version field lives at byte offset 4 (after the magic).
+    const std::string file = artifactPath(dir, direct, tiling);
+    std::fstream io(file,
+                    std::ios::in | std::ios::out | std::ios::binary);
+    const std::uint32_t bogus = PlanStore::kFormatVersion + 1;
+    io.seekp(4);
+    io.write(reinterpret_cast<const char *>(&bogus), sizeof(bogus));
+    io.close();
+
+    expectFreshPrepareFallback(dir, g, tiling, direct);
+}
+
+TEST_F(PlanStoreTest, FingerprintMismatchFallsBackToFreshPrepare)
+{
+    // An artifact of a *different* graph copied over this graph's
+    // file name: header checksum passes, but the fingerprint is
+    // stale and must be rejected.
+    const std::string dir = freshDir("stale");
+    const TilingParams tiling;
+    const CooGraph g = testGraph();
+    const TilePlan direct(g, tiling);
+    const CooGraph other =
+        makeRmat({.numVertices = 128, .numEdges = 1024, .seed = 10});
+    const TilePlan other_plan(other, tiling);
+    ASSERT_NE(direct.fingerprint, other_plan.fingerprint);
+
+    PlanStore store(dir);
+    store.save(other_plan, tiling);
+    fs::copy_file(artifactPath(dir, other_plan, tiling),
+                  artifactPath(dir, direct, tiling));
+
+    expectFreshPrepareFallback(dir, g, tiling, direct);
+}
+
+TEST_F(PlanStoreTest, SemanticallyInvalidArtifactIsRejected)
+{
+    // Checksums guard against corruption, not buggy writers: an
+    // artifact whose payload is internally consistent bytes but
+    // semantic nonsense (a tile origin outside the graph) must be
+    // rejected before it can reach downstream index arithmetic.
+    const std::string dir = freshDir("semantic");
+    const CooGraph g = testGraph();
+    const TilingParams tiling;
+    const TilePlan direct(g, tiling);
+
+    std::vector<Edge> edges(direct.ordered.edges().begin(),
+                            direct.ordered.edges().end());
+    std::vector<TileSpan> spans(direct.ordered.tiles().begin(),
+                                direct.ordered.tiles().end());
+    std::vector<TileMeta> meta = direct.meta.tiles();
+    meta.front().row0 += std::uint64_t{1} << 20;
+    const TilePlan bogus(g.numVertices(), tiling, std::move(edges),
+                         std::move(spans), std::move(meta),
+                         direct.meta.totalNnz(), direct.fingerprint);
+
+    PlanStore store(dir);
+    store.save(bogus, tiling);
+    EXPECT_EQ(store.load(direct.fingerprint, tiling), nullptr);
+    EXPECT_GE(store.stats().loadRejects, 1u);
+
+    // The listing flags it rather than crashing on it.
+    const std::string text = driver::storeStatsText(StoreSpec{dir});
+    EXPECT_NE(text.find("corrupt"), std::string::npos);
+}
+
+TEST_F(PlanStoreTest, TilingMismatchIsRejected)
+{
+    // Same trick for tiling: copy an artifact onto a file name that
+    // claims a different block size.
+    const std::string dir = freshDir("tiling");
+    const CooGraph g = testGraph();
+    TilingParams tiling;
+    const TilePlan direct(g, tiling);
+    PlanStore store(dir);
+    store.save(direct, tiling);
+
+    TilingParams blocked = tiling;
+    blocked.blockSize = 64;
+    fs::copy_file(
+        artifactPath(dir, direct, tiling),
+        (fs::path(dir) /
+         PlanStore::fileName(direct.fingerprint, blocked))
+            .string());
+    EXPECT_EQ(store.load(direct.fingerprint, blocked), nullptr);
+    EXPECT_GE(store.stats().loadRejects, 1u);
+}
+
+// --------------------------------------------- PlanCache integration
+
+TEST_F(PlanStoreTest, PlanCacheWritesThroughOnMiss)
+{
+    const std::string dir = freshDir("writethrough");
+    const CooGraph g = testGraph();
+    const TilingParams tiling;
+
+    PlanCache cache;
+    const auto store = std::make_shared<PlanStore>(dir);
+    cache.setStore(store);
+    const TilePlanPtr built = cache.get(g, tiling);
+    EXPECT_EQ(store->stats().saves, 1u);
+    EXPECT_TRUE(store->contains(built->fingerprint, tiling));
+
+    // A second cache (fresh memory level) loads instead of sorting.
+    PlanCache cold;
+    cold.setStore(std::make_shared<PlanStore>(dir));
+    const std::uint64_t sorts_before =
+        OrderedEdgeList::sortsPerformed();
+    const TilePlanPtr loaded = cold.get(g, tiling);
+    EXPECT_EQ(OrderedEdgeList::sortsPerformed(), sorts_before);
+    expectPlansEqual(*built, *loaded);
+}
+
+TEST_F(PlanStoreTest, StoreStatsTextListsArtifacts)
+{
+    const std::string dir = freshDir("statstext");
+    const CooGraph g = testGraph();
+    const TilingParams tiling;
+    const TilePlan direct(g, tiling);
+    PlanStore(dir).save(direct, tiling);
+
+    const std::string text = driver::storeStatsText(StoreSpec{dir});
+    EXPECT_NE(text.find("1 artifact"), std::string::npos);
+    EXPECT_NE(text.find(PlanStore::fileName(direct.fingerprint,
+                                            tiling)),
+              std::string::npos);
+    EXPECT_NE(text.find("ok"), std::string::npos);
+
+    // Corrupt it: the listing flags the artifact instead of hiding it.
+    fs::resize_file(artifactPath(dir, direct, tiling), 40);
+    const std::string corrupt =
+        driver::storeStatsText(StoreSpec{dir});
+    EXPECT_NE(corrupt.find("corrupt"), std::string::npos);
+}
+
+// -------------------------------------------------- driver-level
+
+constexpr const char *kDataset = "rmat:vertices=128,edges=512,seed=3";
+
+driver::SweepSpec
+sweepSpec(const std::string &plan_dir, std::uint32_t jobs)
+{
+    driver::SweepSpec spec;
+    spec.workloads = {"all"};
+    spec.backends = {"outofcore"};
+    spec.datasets = {kDataset};
+    spec.params =
+        driver::ParamMap::parse("epochs=1,features=4,iterations=5");
+    spec.jobs = jobs;
+    spec.store.planDir = plan_dir;
+    return spec;
+}
+
+std::string
+sweepJson(const driver::SweepSpec &spec)
+{
+    PlanCache::instance().clear();
+    std::ostringstream oss;
+    driver::writeResultsJson(oss, driver::runSweep(spec));
+    return oss.str();
+}
+
+TEST_F(PlanStoreTest, WarmStoreOutOfCoreSweepDoesZeroSorts)
+{
+    const std::string dir = freshDir("warm_sweep");
+
+    // Offline step: prepare the dataset (plain + symmetrised).
+    driver::PrepareSpec prep;
+    prep.datasets = {kDataset};
+    prep.store.planDir = dir;
+    const std::vector<driver::PrepareResult> prepared =
+        driver::runPrepare(prep);
+    ASSERT_EQ(prepared.size(), 2u);
+    EXPECT_FALSE(prepared[0].reused);
+    EXPECT_EQ(prepared[0].variant, "plain");
+    EXPECT_EQ(prepared[1].variant, "symmetrized");
+
+    // Online step, cold process simulated by clearing the in-memory
+    // level: the whole out-of-core sweep must not sort a single edge
+    // list.
+    PlanCache::instance().clear();
+    const std::uint64_t sorts_before =
+        OrderedEdgeList::sortsPerformed();
+    const std::string warm = sweepJson(sweepSpec(dir, 1));
+    EXPECT_EQ(OrderedEdgeList::sortsPerformed(), sorts_before)
+        << "warm-store sweep performed an edge sort";
+
+    // And the report is byte-identical to the storeless path.
+    const std::string none = sweepJson(sweepSpec("", 1));
+    EXPECT_EQ(warm, none);
+
+    // Preparing again reuses the artifacts.
+    const std::vector<driver::PrepareResult> again =
+        driver::runPrepare(prep);
+    EXPECT_TRUE(again[0].reused);
+    EXPECT_TRUE(again[1].reused);
+}
+
+TEST_F(PlanStoreTest, ColdWarmAndStorelessSweepsAreByteIdentical)
+{
+    for (const std::uint32_t jobs : {1u, 4u}) {
+        const std::string dir =
+            freshDir("determinism_j" + std::to_string(jobs));
+        const std::string none = sweepJson(sweepSpec("", jobs));
+        const std::string cold = sweepJson(sweepSpec(dir, jobs));
+        const std::string warm = sweepJson(sweepSpec(dir, jobs));
+        EXPECT_EQ(none, cold) << "jobs=" << jobs;
+        EXPECT_EQ(cold, warm) << "jobs=" << jobs;
+    }
+}
+
+TEST_F(PlanStoreTest, RunSweepRejectsUnusablePlanDir)
+{
+    const std::string file_path = freshDir("plan_dir_file") + "_f";
+    {
+        std::ofstream os(file_path);
+        os << "x";
+    }
+    driver::SweepSpec spec = sweepSpec(file_path, 1);
+    try {
+        driver::runSweep(spec);
+        FAIL() << "expected DriverError";
+    } catch (const driver::DriverError &err) {
+        EXPECT_NE(std::string(err.what()).find("--plan-dir"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(PlanStoreTest, PrepareValidatesItsSpec)
+{
+    driver::PrepareSpec no_dir;
+    no_dir.datasets = {kDataset};
+    EXPECT_THROW(driver::runPrepare(no_dir), driver::DriverError);
+
+    driver::PrepareSpec no_data;
+    no_data.store.planDir = freshDir("prep_nodata");
+    EXPECT_THROW(driver::runPrepare(no_data), driver::DriverError);
+
+    driver::PrepareSpec bad_dataset;
+    bad_dataset.datasets = {"no-such-dataset"};
+    bad_dataset.store.planDir = freshDir("prep_baddata");
+    EXPECT_THROW(driver::runPrepare(bad_dataset),
+                 driver::DriverError);
+}
+
+TEST_F(PlanStoreTest, ParallelPrepareMatchesSerial)
+{
+    const std::string serial_dir = freshDir("prep_serial");
+    const std::string parallel_dir = freshDir("prep_parallel");
+    driver::PrepareSpec spec;
+    spec.datasets = {kDataset, "chain:n=64", "grid:width=8,height=8"};
+
+    spec.store.planDir = serial_dir;
+    spec.jobs = 1;
+    const std::vector<driver::PrepareResult> serial =
+        driver::runPrepare(spec);
+    spec.store.planDir = parallel_dir;
+    spec.jobs = 4;
+    const std::vector<driver::PrepareResult> parallel =
+        driver::runPrepare(spec);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].dataset, parallel[i].dataset);
+        EXPECT_EQ(serial[i].variant, parallel[i].variant);
+        EXPECT_EQ(serial[i].fingerprint, parallel[i].fingerprint);
+        EXPECT_EQ(serial[i].file, parallel[i].file);
+        // Same artifacts, byte for byte.
+        const std::string a =
+            (fs::path(serial_dir) / serial[i].file).string();
+        const std::string b =
+            (fs::path(parallel_dir) / parallel[i].file).string();
+        std::ifstream fa(a, std::ios::binary);
+        std::ifstream fb(b, std::ios::binary);
+        std::stringstream sa, sb;
+        sa << fa.rdbuf();
+        sb << fb.rdbuf();
+        EXPECT_EQ(sa.str(), sb.str()) << serial[i].file;
+    }
+}
+
+} // namespace
+} // namespace graphr
