@@ -1,0 +1,272 @@
+/**
+ * @file
+ * graphr_serve: the long-lived batch-serving daemon.
+ *
+ * Where graphr_run pays process start-up, dataset resolution and plan
+ * preparation per invocation, graphr_serve keeps that state resident
+ * and answers a stream of JSONL requests against it — the online half
+ * of GraphR's offline/online split, amortised across requests:
+ *
+ *   printf '%s\n' \
+ *     '{"id":"r1","type":"run","dataset":"wiki-vote","scale":4}' \
+ *     '{"id":"q1","type":"status"}' | graphr_serve --stdin
+ *
+ *   graphr_serve --port 7447 --jobs 4 --plan-dir plans/
+ *
+ * One response line per request, ids echoed, admission order. TCP
+ * mode serves loopback connections one at a time (a connection owns
+ * the warm state until it closes; the next accept reuses it).
+ * SIGTERM/SIGINT and EOF both drain gracefully: in-flight requests
+ * finish, every pending response is flushed, then the process exits.
+ * See docs/CLI.md for the full request grammar.
+ */
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "driver/params.hh"
+#include "service/fd_stream.hh"
+#include "service/server.hh"
+
+namespace
+{
+
+using namespace graphr;
+
+std::atomic<service::Server *> g_server{nullptr};
+
+/** SIGTERM/SIGINT: ask the server to drain (lock-free store only). */
+void
+onSignal(int)
+{
+    if (service::Server *server = g_server.load())
+        server->requestStop();
+}
+
+/** No SA_RESTART: a signal must interrupt blocked read()/accept(). */
+void
+installSignalHandlers()
+{
+    struct sigaction action = {};
+    action.sa_handler = onSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;
+    sigaction(SIGTERM, &action, nullptr);
+    sigaction(SIGINT, &action, nullptr);
+    // A TCP client that disconnects before reading its responses must
+    // surface as a write error (EPIPE -> clean session end), not kill
+    // the daemon and its warm caches with the default SIGPIPE action.
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+/** Detaches the signal handlers' server pointer before the Server is
+ *  destroyed (including during exception unwinding), so a late
+ *  signal cannot touch a dead object. */
+struct ServerRegistration
+{
+    explicit ServerRegistration(service::Server &server)
+    {
+        g_server.store(&server);
+    }
+    ~ServerRegistration() { g_server.store(nullptr); }
+};
+
+struct ServeCliOptions
+{
+    service::ServeOptions server;
+    /** TCP port to listen on (loopback); negative = stdin mode. */
+    int port = -1;
+    bool help = false;
+};
+
+std::string
+usageText()
+{
+    return "graphr_serve — long-lived GraphR batch-serving daemon\n"
+           "\n"
+           "usage: graphr_serve [--stdin | --port N] [flags]\n"
+           "\n"
+           "flags:\n"
+           "  --stdin             serve JSONL requests from stdin,\n"
+           "                      responses to stdout (the default)\n"
+           "  --port n            listen on 127.0.0.1:n instead (one\n"
+           "                      connection at a time; 0 = pick a\n"
+           "                      free port, printed to stderr)\n"
+           "  --jobs n            worker threads executing requests\n"
+           "                      (default 1; 0 = hardware threads)\n"
+           "  --queue-depth n     max outstanding requests before\n"
+           "                      admission rejects (default 256)\n"
+           "  --plan-dir path     durable plan store shared by every\n"
+           "                      request (see docs/CLI.md)\n"
+           "  --help              this text\n"
+           "\n"
+           "requests (one JSON object per line; full grammar in\n"
+           "docs/CLI.md):\n"
+           "  {\"id\":\"r1\",\"type\":\"run\",\"workload\":\"pagerank\","
+           "\"backend\":\"graphr\",\"dataset\":\"wiki-vote\","
+           "\"scale\":4}\n"
+           "  {\"id\":\"s1\",\"type\":\"sweep\",\"workloads\":[\"all\"],"
+           "\"datasets\":[\"wiki-vote\"],\"scale\":4}\n"
+           "  {\"id\":\"p1\",\"type\":\"prepare\",\"datasets\":"
+           "[\"wiki-vote\"],\"scale\":4}\n"
+           "  {\"id\":\"q1\",\"type\":\"status\"}\n";
+}
+
+ServeCliOptions
+parseServeCli(const std::vector<std::string> &args)
+{
+    using driver::DriverError;
+    ServeCliOptions opts;
+    auto next = [&args](std::size_t &i,
+                        const std::string &flag) -> const std::string & {
+        if (i + 1 >= args.size())
+            throw DriverError("flag " + flag + " needs a value");
+        return args[++i];
+    };
+    auto parseU32 = [](const std::string &flag, const std::string &value,
+                       std::uint32_t max) {
+        driver::ParamMap map;
+        map.set(flag, value);
+        const std::uint32_t n = map.getU32(flag, 0);
+        if (n > max)
+            throw DriverError(flag + " must be in [0, " +
+                              std::to_string(max) + "]");
+        return n;
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--stdin") {
+            opts.port = -1;
+        } else if (arg == "--port") {
+            opts.port = static_cast<int>(
+                parseU32(arg, next(i, arg), 65535));
+        } else if (arg == "--jobs" || arg == "-j") {
+            opts.server.jobs = parseU32(arg, next(i, arg), 1024);
+        } else if (arg == "--queue-depth") {
+            opts.server.queueDepth =
+                parseU32(arg, next(i, arg), 1u << 20);
+        } else if (arg == "--plan-dir") {
+            opts.server.store.planDir = next(i, arg);
+            if (opts.server.store.planDir.empty())
+                throw DriverError("--plan-dir got an empty path");
+        } else if (arg == "--help" || arg == "-h") {
+            opts.help = true;
+        } else {
+            throw DriverError("unknown flag '" + arg +
+                              "' (see --help)");
+        }
+    }
+    return opts;
+}
+
+/** Listen on loopback:port; returns the listening fd or throws. */
+int
+listenLoopback(int port, std::ostream &log)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw driver::DriverError("cannot create socket: " +
+                                  std::string(std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 8) != 0) {
+        const std::string what = std::strerror(errno);
+        ::close(fd);
+        throw driver::DriverError("cannot listen on 127.0.0.1:" +
+                                  std::to_string(port) + ": " + what);
+    }
+
+    sockaddr_in bound = {};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) == 0)
+        port = ntohs(bound.sin_port);
+    log << "graphr_serve listening on 127.0.0.1:" << port << "\n"
+        << std::flush;
+    return fd;
+}
+
+/** Accept loop: one connection at a time over shared warm state. */
+int
+serveTcp(service::Server &server, int port)
+{
+    const int listen_fd = listenLoopback(port, std::cerr);
+    while (!server.stopRequested()) {
+        // Poll before accepting so a SIGTERM racing the blocking
+        // accept() still stops the loop within one poll tick.
+        if (!service::waitReadable(listen_fd, &server.stopFlag()))
+            break;
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue; // signal: loop re-checks the stop flag
+            std::cerr << "accept failed: " << std::strerror(errno)
+                      << "\n";
+            break;
+        }
+        service::FdInBuf inbuf(fd, &server.stopFlag());
+        service::FdOutBuf outbuf(fd, &server.stopFlag());
+        std::istream in(&inbuf);
+        std::ostream out(&outbuf);
+        server.serve(in, out);
+        ::close(fd);
+    }
+    ::close(listen_fd);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const ServeCliOptions opts = parseServeCli(
+            std::vector<std::string>(argv + 1, argv + argc));
+        if (opts.help) {
+            std::cout << usageText();
+            return 0;
+        }
+
+        service::Server server(opts.server);
+        const ServerRegistration registration(server);
+        installSignalHandlers();
+
+        if (opts.port < 0) {
+            // Serve stdin through the fd buffers rather than
+            // std::cin, so the stop-flag polling (graceful SIGTERM
+            // drain) covers a read blocked on the pipe too.
+            service::FdInBuf inbuf(STDIN_FILENO, &server.stopFlag());
+            service::FdOutBuf outbuf(STDOUT_FILENO,
+                                     &server.stopFlag());
+            std::istream in(&inbuf);
+            std::ostream out(&outbuf);
+            server.serve(in, out);
+        } else {
+            serveTcp(server, opts.port);
+        }
+        return 0;
+    } catch (const driver::DriverError &err) {
+        std::cerr << "error: " << err.what() << "\n\n"
+                  << "run 'graphr_serve --help' for usage\n";
+        return 1;
+    }
+}

@@ -9,15 +9,18 @@
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
+#include <sstream>
 
 #include "common/random.hh"
 #include "driver/driver.hh"
+#include "driver/golden_cache.hh"
 #include "graph/generator.hh"
 #include "graph/preprocess.hh"
 #include "graphr/engine/plan_cache.hh"
 #include "graphr/node.hh"
 #include "graphr/tile_meta.hh"
 #include "rram/crossbar.hh"
+#include "service/server.hh"
 #include "store/plan_store.hh"
 
 namespace
@@ -282,6 +285,44 @@ BENCHMARK(BM_SweepThroughput)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+void
+BM_ServeWarmVsColdRequest(benchmark::State &state)
+{
+    // Per-request latency of the serving daemon: arg 0 selects a cold
+    // request (caches dropped before each one, so the daemon re-pays
+    // dataset resolution and the O(E log E) sort — what a one-shot
+    // graphr_run process pays) or a warm one (1: the process-resident
+    // PlanCache answers, the paper's online-phase steady state).
+    const bool warm = state.range(0) != 0;
+    service::Server server(service::ServeOptions{});
+    const std::string request =
+        "{\"id\":\"r\",\"type\":\"run\",\"workload\":\"pagerank\","
+        "\"backend\":\"outofcore\","
+        "\"dataset\":\"rmat:vertices=16384,edges=131072,seed=5\"}\n";
+    if (warm) {
+        std::istringstream in(request);
+        std::ostringstream out;
+        server.serve(in, out);
+    }
+    for (auto _ : state) {
+        if (!warm) {
+            state.PauseTiming();
+            PlanCache::instance().clear();
+            driver::clearGoldenCache();
+            state.ResumeTiming();
+        }
+        std::istringstream in(request);
+        std::ostringstream out;
+        server.serve(in, out);
+        benchmark::DoNotOptimize(out.str().size());
+    }
+    state.SetLabel(warm ? "warm" : "cold");
+}
+BENCHMARK(BM_ServeWarmVsColdRequest)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -1,0 +1,492 @@
+#include "json_reader.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+namespace graphr::detail
+{
+
+/** Cursor over the source text with offset-carrying errors. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue value = parseValue(0);
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing characters after the JSON value");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw JsonParseError("JSON error at byte " +
+                             std::to_string(pos_) + ": " + what);
+    }
+
+    bool
+    atEnd() const
+    {
+        return pos_ >= text_.size();
+    }
+
+    char
+    peek() const
+    {
+        if (atEnd())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char
+    take()
+    {
+        const char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (!atEnd() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                            text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    void
+    expect(char c)
+    {
+        if (take() != c)
+            fail(std::string("expected '") + c + "'");
+    }
+
+    void
+    expectLiteral(std::string_view word)
+    {
+        for (const char c : word) {
+            if (atEnd() || text_[pos_] != c)
+                fail("invalid literal (expected " + std::string(word) +
+                     ")");
+            ++pos_;
+        }
+    }
+
+    JsonValue
+    parseValue(int depth)
+    {
+        if (depth > JsonValue::kMaxDepth)
+            fail("nesting deeper than " +
+                 std::to_string(JsonValue::kMaxDepth) + " levels");
+        skipWhitespace();
+        const char c = peek();
+        switch (c) {
+        case '{':
+            return parseObject(depth);
+        case '[':
+            return parseArray(depth);
+        case '"':
+            return makeString(parseString());
+        case 't':
+            expectLiteral("true");
+            return makeBool(true);
+        case 'f':
+            expectLiteral("false");
+            return makeBool(false);
+        case 'n':
+            expectLiteral("null");
+            return JsonValue();
+        default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber();
+            fail("unexpected character");
+        }
+    }
+
+    static JsonValue
+    makeBool(bool v)
+    {
+        JsonValue value;
+        value.type_ = JsonValue::Type::kBool;
+        value.bool_ = v;
+        return value;
+    }
+
+    static JsonValue
+    makeString(std::string s)
+    {
+        JsonValue value;
+        value.type_ = JsonValue::Type::kString;
+        value.text_ = std::move(s);
+        return value;
+    }
+
+    /** Append a code point as UTF-8. */
+    static void
+    appendUtf8(std::string &out, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    std::uint32_t
+    parseHex4()
+    {
+        std::uint32_t value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = take();
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                fail("invalid \\u escape digit");
+        }
+        return value;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            const char c = take();
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = take();
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                std::uint32_t cp = parseHex4();
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // High surrogate: a low surrogate must follow.
+                    expect('\\');
+                    expect('u');
+                    const std::uint32_t lo = parseHex4();
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        fail("unpaired UTF-16 surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) +
+                         (lo - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    fail("unpaired UTF-16 surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+            }
+            default:
+                fail("invalid escape character");
+            }
+        }
+    }
+
+    /**
+     * For a grammar-valid number token that from_chars reported out
+     * of range: true when the magnitude underflowed toward zero
+     * (effective decimal exponent negative), false when it
+     * overflowed toward infinity. from_chars leaves the output value
+     * unmodified on this error, so the token is the only evidence.
+     */
+    static bool
+    numberUnderflows(const std::string &token)
+    {
+        std::size_t i = token[0] == '-' ? 1 : 0;
+        // Mantissa digits with the '.' removed, tracking where the
+        // point sat and where the first significant digit is.
+        long point_pos = -1;
+        long first_sig = -1;
+        long digits = 0;
+        for (; i < token.size(); ++i) {
+            const char c = token[i];
+            if (c == '.') {
+                point_pos = digits;
+                continue;
+            }
+            if (c == 'e' || c == 'E')
+                break;
+            if (c != '0' && first_sig < 0)
+                first_sig = digits;
+            ++digits;
+        }
+        if (first_sig < 0)
+            return true; // all-zero mantissa cannot overflow
+        if (point_pos < 0)
+            point_pos = digits;
+        long exponent = 0;
+        if (i < token.size()) { // token[i] is 'e'/'E'
+            ++i;
+            bool negative = false;
+            if (token[i] == '+' || token[i] == '-') {
+                negative = token[i] == '-';
+                ++i;
+            }
+            for (; i < token.size(); ++i) {
+                if (exponent < 100000) // clamp: sign is all we need
+                    exponent = exponent * 10 + (token[i] - '0');
+            }
+            if (negative)
+                exponent = -exponent;
+        }
+        return point_pos - first_sig - 1 + exponent < 0;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(
+                           text_[pos_])))
+            fail("invalid number");
+        if (text_[pos_] == '0') {
+            ++pos_;
+        } else {
+            while (!atEnd() && std::isdigit(static_cast<unsigned char>(
+                                   text_[pos_])))
+                ++pos_;
+        }
+        if (!atEnd() && text_[pos_] == '.') {
+            ++pos_;
+            if (atEnd() || !std::isdigit(static_cast<unsigned char>(
+                               text_[pos_])))
+                fail("digit required after decimal point");
+            while (!atEnd() && std::isdigit(static_cast<unsigned char>(
+                                   text_[pos_])))
+                ++pos_;
+        }
+        if (!atEnd() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (!atEnd() && (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (atEnd() || !std::isdigit(static_cast<unsigned char>(
+                               text_[pos_])))
+                fail("digit required in exponent");
+            while (!atEnd() && std::isdigit(static_cast<unsigned char>(
+                                   text_[pos_])))
+                ++pos_;
+        }
+
+        JsonValue value;
+        value.type_ = JsonValue::Type::kNumber;
+        value.text_ = std::string(text_.substr(start, pos_ - start));
+        // from_chars, not strtod: locale-independent (a comma-decimal
+        // LC_NUMERIC must not silently truncate "1.5" to 1.0) and
+        // overflow is an explicit error — letting +-inf through would
+        // sail past downstream range checks like `scale >= 1`.
+        const auto [ptr, ec] = std::from_chars(
+            value.text_.data(), value.text_.data() + value.text_.size(),
+            value.number_);
+        if (ec == std::errc::result_out_of_range) {
+            // Underflow rounds to zero like any other subnormal loss
+            // of precision; only overflow is rejected.
+            if (!numberUnderflows(value.text_))
+                fail("number out of range");
+            value.number_ = 0.0;
+        } else if (ec != std::errc() ||
+                   ptr != value.text_.data() + value.text_.size()) {
+            fail("invalid number");
+        }
+        return value;
+    }
+
+    JsonValue
+    parseArray(int depth)
+    {
+        expect('[');
+        JsonValue value;
+        value.type_ = JsonValue::Type::kArray;
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return value;
+        }
+        for (;;) {
+            value.items_.push_back(parseValue(depth + 1));
+            skipWhitespace();
+            const char c = take();
+            if (c == ']')
+                return value;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    JsonValue
+    parseObject(int depth)
+    {
+        expect('{');
+        JsonValue value;
+        value.type_ = JsonValue::Type::kObject;
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return value;
+        }
+        for (;;) {
+            skipWhitespace();
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            value.members_.emplace_back(std::move(key),
+                                        parseValue(depth + 1));
+            skipWhitespace();
+            const char c = take();
+            if (c == '}')
+                return value;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace graphr::detail
+
+namespace graphr
+{
+
+JsonValue
+JsonValue::parse(std::string_view text)
+{
+    return detail::JsonParser(text).parseDocument();
+}
+
+const char *
+JsonValue::typeName() const
+{
+    switch (type_) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kNumber: return "number";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+    case Type::kObject: return "object";
+    }
+    return "unknown";
+}
+
+void
+JsonValue::requireType(Type t) const
+{
+    if (type_ != t) {
+        JsonValue expected;
+        expected.type_ = t;
+        throw JsonParseError(std::string("expected a JSON ") +
+                             expected.typeName() + ", got " +
+                             typeName());
+    }
+}
+
+bool
+JsonValue::asBool() const
+{
+    requireType(Type::kBool);
+    return bool_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    requireType(Type::kNumber);
+    return number_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    requireType(Type::kString);
+    return text_;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    requireType(Type::kNumber);
+    // Fast path: the token is a plain non-negative integer.
+    std::uint64_t direct = 0;
+    const auto [ptr, ec] = std::from_chars(
+        text_.data(), text_.data() + text_.size(), direct);
+    if (ec == std::errc() && ptr == text_.data() + text_.size())
+        return direct;
+    // Exponent forms ("1e3"): accept exactly representable integers.
+    if (number_ >= 0.0 && number_ <= 9007199254740992.0 &&
+        std::floor(number_) == number_)
+        return static_cast<std::uint64_t>(number_);
+    throw JsonParseError("expected a non-negative integer, got '" +
+                         text_ + "'");
+}
+
+const std::string &
+JsonValue::numberToken() const
+{
+    requireType(Type::kNumber);
+    return text_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    requireType(Type::kArray);
+    return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    requireType(Type::kObject);
+    return members_;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    requireType(Type::kObject);
+    const JsonValue *found = nullptr;
+    for (const auto &[name, value] : members_) {
+        if (name == key)
+            found = &value;
+    }
+    return found;
+}
+
+} // namespace graphr

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Minimal strict JSON reader (the counterpart of json.hh's writer).
+ *
+ * The serving daemon accepts JSON-lines requests, so the repo now
+ * needs parsing as well as emission. This is a small recursive-descent
+ * parser producing an immutable JsonValue DOM: strict RFC 8259
+ * grammar (no comments, no trailing commas, no bare values beyond the
+ * five literals), a nesting-depth limit so hostile input cannot blow
+ * the stack, and typed accessors that throw JsonParseError instead of
+ * asserting — a malformed request must become a structured error
+ * response, never a crash.
+ *
+ * Numbers keep their raw source token alongside the double value:
+ * u64 reads (request seeds, counters) parse the token directly, so
+ * integers above 2^53 survive, and string round-trips (ParamMap
+ * values) preserve the user's spelling ("0.85" stays "0.85").
+ */
+
+#ifndef GRAPHR_COMMON_JSON_READER_HH
+#define GRAPHR_COMMON_JSON_READER_HH
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace graphr
+{
+
+namespace detail
+{
+class JsonParser;
+}
+
+/** Malformed JSON text or a type-mismatched accessor. */
+class JsonParseError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One parsed JSON value (immutable after parse()). */
+class JsonValue
+{
+  public:
+    enum class Type
+    {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    /**
+     * Parse a complete JSON document. The whole text must be one
+     * value (trailing non-whitespace is an error); nesting deeper
+     * than kMaxDepth throws. Throws JsonParseError with a byte
+     * offset on any malformed input.
+     */
+    static JsonValue parse(std::string_view text);
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::kNull; }
+    bool isBool() const { return type_ == Type::kBool; }
+    bool isNumber() const { return type_ == Type::kNumber; }
+    bool isString() const { return type_ == Type::kString; }
+    bool isArray() const { return type_ == Type::kArray; }
+    bool isObject() const { return type_ == Type::kObject; }
+
+    /** Human-readable type name ("object", "number", ...). */
+    const char *typeName() const;
+
+    /** Typed reads; throw JsonParseError on a type mismatch. */
+    bool asBool() const;
+    double asDouble() const;
+    const std::string &asString() const;
+
+    /**
+     * Non-negative integer read: parses the raw number token, so any
+     * u64 survives; rejects negatives, fractions and values that do
+     * not fit. Throws JsonParseError otherwise.
+     */
+    std::uint64_t asU64() const;
+
+    /** The raw source token of a number ("0.85", "42", "1e-3"). */
+    const std::string &numberToken() const;
+
+    /** Array elements (throws unless isArray()). */
+    const std::vector<JsonValue> &items() const;
+
+    /**
+     * Object members in source order (throws unless isObject()).
+     * Duplicate keys are kept; find() resolves them last-wins, the
+     * same rule ParamMap::parse applies to duplicate k=v entries.
+     */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const;
+
+    /** Last member with this key, or nullptr (throws unless object). */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Nesting levels parse() accepts before giving up. */
+    static constexpr int kMaxDepth = 64;
+
+  private:
+    friend class detail::JsonParser;
+
+    void requireType(Type t) const;
+
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    double number_ = 0.0;
+    /** String payload, or the raw token for numbers. */
+    std::string text_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+} // namespace graphr
+
+#endif // GRAPHR_COMMON_JSON_READER_HH

@@ -146,14 +146,14 @@ usageText()
        << "                      artifacts into --plan-dir\n"
        << "  store stats         list the artifacts in --plan-dir\n\n"
        << "flags:\n"
-       << "  --algo a[,b...]     workloads, or 'all' (default pagerank)\n"
-       << "  --backend a[,b...]  backends, or 'all' (default graphr)\n"
-       << "  --dataset spec      dataset; repeat the flag for several\n"
+       << "  --algo, -a a[,b...] workloads, or 'all' (default pagerank)\n"
+       << "  --backend, -b ...   backends, or 'all' (default graphr)\n"
+       << "  --dataset, -d spec  dataset; repeat the flag for several\n"
        << "                      (default rmat:vertices=1024,edges=8192)\n"
-       << "  --param k=v         workload parameter (repeatable)\n"
+       << "  --param, -p k=v     workload parameter (repeatable)\n"
        << "  --scale f           Table-3 dataset scale divisor (>= 1)\n"
        << "  --seed n            generator seed (default 42)\n"
-       << "  --jobs n            parallel sweep workers (default 1;\n"
+       << "  --jobs, -j n        parallel sweep workers (default 1;\n"
        << "                      0 = all hardware threads); output is\n"
        << "                      byte-identical at any job count\n"
        << "  --nodes n           multinode cluster size (default 4)\n"
@@ -161,10 +161,11 @@ usageText()
        << "  --plan-dir path     durable preprocessing store: runs load\n"
        << "                      prepared plans from here (skipping the\n"
        << "                      edge sort) and write new ones through\n"
-       << "  --out path          write JSON report ('-' = stdout)\n"
+       << "  --out, -o path      write JSON report ('-' = stdout)\n"
        << "  --matrix            print workload x backend matrix\n"
        << "  --list              list workloads/backends/datasets\n"
-       << "  --help              this text\n\n"
+       << "  --help, -h          this text\n\n"
+       << "full reference (plus the graphr_serve daemon): docs/CLI.md\n\n"
        << "examples:\n"
        << "  graphr_run --algo pagerank --backend graphr "
           "--dataset wiki-vote --scale 4 --out report.json\n"

@@ -187,6 +187,13 @@ installPlanStore(const StoreSpec &spec)
         PlanCache::instance().setStore(nullptr);
         return;
     }
+    // Re-installing the directory that is already attached keeps the
+    // resident store (and its cumulative statistics): a long-lived
+    // graphr_serve process runs every request through here.
+    const std::shared_ptr<PlanStore> current =
+        PlanCache::instance().store();
+    if (current && current->directory() == spec.planDir)
+        return;
     try {
         PlanCache::instance().setStore(
             std::make_shared<PlanStore>(spec.planDir));

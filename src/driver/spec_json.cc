@@ -1,0 +1,237 @@
+#include "spec_json.hh"
+
+#include <algorithm>
+
+namespace graphr::driver
+{
+
+namespace
+{
+
+/** Accumulates which members were consumed so unknowns are errors. */
+class MemberReader
+{
+  public:
+    MemberReader(const JsonValue &object,
+                 const std::vector<std::string> &extra_keys)
+        : object_(object), consumed_(extra_keys)
+    {
+    }
+
+    /** The member value, or nullptr when absent; marks it consumed. */
+    const JsonValue *
+    find(const std::string &key)
+    {
+        consumed_.push_back(key);
+        return object_.find(key);
+    }
+
+    /** Throw DriverError on any member no reader asked about. */
+    void
+    rejectUnknown(const std::string &context) const
+    {
+        for (const auto &[key, value] : object_.members()) {
+            if (std::find(consumed_.begin(), consumed_.end(), key) ==
+                consumed_.end()) {
+                std::string msg = context + ": unknown member '" +
+                                  key + "' (accepted:";
+                for (const std::string &k : consumed_)
+                    msg += " " + k;
+                msg += ")";
+                throw DriverError(msg);
+            }
+        }
+    }
+
+  private:
+    const JsonValue &object_;
+    std::vector<std::string> consumed_;
+};
+
+/** Wrap the reader's type errors in driver terms. */
+[[noreturn]] void
+badType(const std::string &key, const JsonValue &value,
+        const char *expected)
+{
+    throw DriverError("member '" + key + "' must be a " + expected +
+                      ", got " + value.typeName());
+}
+
+std::string
+asStringField(const std::string &key, const JsonValue &value)
+{
+    if (!value.isString())
+        badType(key, value, "string");
+    return value.asString();
+}
+
+/**
+ * Read a name list from the singular ("workload": "x") or plural
+ * ("workloads": ["x", "y"]) member. Both present is an error; both
+ * absent keeps @p fallback.
+ */
+std::vector<std::string>
+nameList(MemberReader &reader, const std::string &singular,
+         const std::string &plural,
+         const std::vector<std::string> &fallback)
+{
+    const JsonValue *one = reader.find(singular);
+    const JsonValue *many = reader.find(plural);
+    if (one != nullptr && many != nullptr)
+        throw DriverError("give either '" + singular + "' or '" +
+                          plural + "', not both");
+    if (one != nullptr)
+        return {asStringField(singular, *one)};
+    if (many == nullptr)
+        return fallback;
+    if (!many->isArray())
+        badType(plural, *many, "array of strings");
+    std::vector<std::string> names;
+    for (const JsonValue &item : many->items()) {
+        if (!item.isString())
+            badType(plural, item, "array of strings");
+        names.push_back(item.asString());
+    }
+    if (names.empty())
+        throw DriverError("member '" + plural + "' must not be empty");
+    return names;
+}
+
+/** "params": {"damping": 0.85, "source": 3} -> ParamMap. */
+ParamMap
+paramsFromJson(const JsonValue &params)
+{
+    if (!params.isObject())
+        throw DriverError("member 'params' must be an object of "
+                          "string/number/bool values, got " +
+                          std::string(params.typeName()));
+    ParamMap map;
+    for (const auto &[key, value] : params.members()) {
+        if (value.isString()) {
+            map.set(key, value.asString());
+        } else if (value.isNumber()) {
+            // The raw token keeps the user's spelling, so ParamMap's
+            // typed reads see exactly what a --param flag would.
+            map.set(key, value.numberToken());
+        } else if (value.isBool()) {
+            map.set(key, value.asBool() ? "true" : "false");
+        } else {
+            throw DriverError("param '" + key +
+                              "' must be a string, number or bool, "
+                              "got " +
+                              std::string(value.typeName()));
+        }
+    }
+    return map;
+}
+
+double
+scaleFromJson(const std::string &key, const JsonValue &value)
+{
+    if (!value.isNumber())
+        badType(key, value, "number");
+    const double scale = value.asDouble();
+    // Negated form so NaN is rejected too (matches the CLI).
+    if (!(scale >= 1.0))
+        throw DriverError("member 'scale' must be >= 1");
+    return scale;
+}
+
+std::uint64_t
+u64FromJson(const std::string &key, const JsonValue &value)
+{
+    try {
+        return value.asU64();
+    } catch (const JsonParseError &err) {
+        throw DriverError("member '" + key + "': " + err.what());
+    }
+}
+
+} // namespace
+
+SweepSpec
+sweepSpecFromJson(const JsonValue &request, bool single,
+                  const std::vector<std::string> &extraKeys)
+{
+    if (!request.isObject())
+        throw DriverError("a request must be a JSON object, got " +
+                          std::string(request.typeName()));
+    MemberReader reader(request, extraKeys);
+    SweepSpec spec;
+    spec.workloads =
+        nameList(reader, "workload", "workloads", {"pagerank"});
+    spec.backends = nameList(reader, "backend", "backends", {"graphr"});
+    spec.datasets = nameList(reader, "dataset", "datasets", {});
+    if (spec.datasets.empty())
+        throw DriverError("a run/sweep request needs 'dataset' or "
+                          "'datasets'");
+
+    if (const JsonValue *params = reader.find("params"))
+        spec.params = paramsFromJson(*params);
+    if (const JsonValue *scale = reader.find("scale"))
+        spec.scale = scaleFromJson("scale", *scale);
+    if (const JsonValue *seed = reader.find("seed"))
+        spec.seed = u64FromJson("seed", *seed);
+    if (const JsonValue *nodes = reader.find("nodes")) {
+        const std::uint64_t n = u64FromJson("nodes", *nodes);
+        if (n == 0 || n > 65536)
+            throw DriverError("member 'nodes' must be in [1, 65536]");
+        spec.backendOptions.numNodes = static_cast<std::uint32_t>(n);
+    }
+    if (const JsonValue *functional = reader.find("functional")) {
+        if (!functional->isBool())
+            badType("functional", *functional, "bool");
+        spec.backendOptions.config.functional = functional->asBool();
+    }
+    reader.rejectUnknown(single ? "run request" : "sweep request");
+
+    // Unknown workload/backend names fail here, at admission, so the
+    // requester gets the structured error before anything executes.
+    spec.workloads = expandWorkloadNames(spec.workloads);
+    spec.backends = expandBackendNames(spec.backends);
+
+    if (single && (spec.workloads.size() != 1 ||
+                   spec.backends.size() != 1 ||
+                   spec.datasets.size() != 1)) {
+        throw DriverError(
+            "a run request names exactly one workload x backend x "
+            "dataset combination (use type 'sweep' for lists)");
+    }
+    return spec;
+}
+
+PrepareSpec
+prepareSpecFromJson(const JsonValue &request,
+                    const std::vector<std::string> &extraKeys)
+{
+    if (!request.isObject())
+        throw DriverError("a request must be a JSON object, got " +
+                          std::string(request.typeName()));
+    MemberReader reader(request, extraKeys);
+    PrepareSpec spec;
+    spec.datasets = nameList(reader, "dataset", "datasets", {});
+    if (spec.datasets.empty())
+        throw DriverError("a prepare request needs 'dataset' or "
+                          "'datasets'");
+    if (const JsonValue *scale = reader.find("scale"))
+        spec.scale = scaleFromJson("scale", *scale);
+    if (const JsonValue *seed = reader.find("seed"))
+        spec.seed = u64FromJson("seed", *seed);
+    if (const JsonValue *symmetrized = reader.find("symmetrized")) {
+        if (!symmetrized->isBool())
+            badType("symmetrized", *symmetrized, "bool");
+        spec.symmetrized = symmetrized->asBool();
+    }
+    reader.rejectUnknown("prepare request");
+    return spec;
+}
+
+void
+rejectUnknownMembers(const JsonValue &request,
+                     const std::vector<std::string> &accepted,
+                     const std::string &context)
+{
+    MemberReader(request, accepted).rejectUnknown(context);
+}
+
+} // namespace graphr::driver

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * JSON request grammar -> driver specs.
+ *
+ * The graphr_serve daemon describes work as JSON objects; this module
+ * maps those objects onto the same SweepSpec/PrepareSpec the CLI
+ * builds from flags, so both front ends validate against one registry
+ * and execute through one code path. Field names mirror the CLI flags
+ * (docs/CLI.md documents the grammar side by side):
+ *
+ *   {"workload": "pagerank", "backend": "graphr",
+ *    "dataset": "wiki-vote", "params": {"damping": 0.85},
+ *    "scale": 4, "seed": 42, "nodes": 4, "functional": false}
+ *
+ * Plural forms take arrays ("workloads": ["pagerank", "wcc"],
+ * "backends": [...], "datasets": [...]); for workloads and backends
+ * "all" expands against the registry exactly as on the command line
+ * (datasets are explicit specs — there is no dataset registry).
+ * Unknown members, wrong types and unknown registry names all throw
+ * DriverError with an actionable message — the serving layer turns
+ * that into a structured error response.
+ */
+
+#ifndef GRAPHR_DRIVER_SPEC_JSON_HH
+#define GRAPHR_DRIVER_SPEC_JSON_HH
+
+#include "common/json_reader.hh"
+#include "driver/driver.hh"
+#include "driver/prepare.hh"
+
+namespace graphr::driver
+{
+
+/**
+ * Map a JSON request object onto a SweepSpec.
+ *
+ * Accepted members: workload/workloads, backend/backends,
+ * dataset/datasets (at least one required), params (object of
+ * string/number/bool values), scale, seed, nodes, functional.
+ * Workload and backend names are validated against the registries
+ * here (unknown names throw DriverError); dataset specs are validated
+ * when they are resolved at execution time, like the CLI.
+ *
+ * @param single  require the spec to name exactly one
+ *                workload x backend x dataset combination (the "run"
+ *                request type); list-valued or "all" members throw.
+ * @param extraKeys  members the caller handles itself (e.g. "id",
+ *                "type") — present-but-unconsumed keys outside this
+ *                list throw DriverError, mirroring
+ *                ParamMap::rejectUnread.
+ */
+SweepSpec
+sweepSpecFromJson(const JsonValue &request, bool single,
+                  const std::vector<std::string> &extraKeys);
+
+/**
+ * Map a JSON request object onto a PrepareSpec. Accepted members:
+ * dataset/datasets (required), scale, seed, symmetrized. The store
+ * directory and job count are daemon-owned and must be filled in by
+ * the caller.
+ */
+PrepareSpec
+prepareSpecFromJson(const JsonValue &request,
+                    const std::vector<std::string> &extraKeys);
+
+/**
+ * Throw DriverError for any member of @p request outside @p accepted
+ * ("context: unknown member 'x' (accepted: ...)") — the same
+ * rejection the spec parsers above apply, for payload-less request
+ * types (graphr_serve's "status").
+ */
+void rejectUnknownMembers(const JsonValue &request,
+                          const std::vector<std::string> &accepted,
+                          const std::string &context);
+
+} // namespace graphr::driver
+
+#endif // GRAPHR_DRIVER_SPEC_JSON_HH

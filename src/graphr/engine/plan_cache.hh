@@ -44,6 +44,14 @@ class PlanCache
      * Look up (or build and insert) the plan for a graph under the
      * given tiling. @p cache_hit, when non-null, reports whether the
      * plan was reused.
+     *
+     * Thread-safe: lookups take a shared lock and each key is built
+     * at most once (concurrent requesters for the same key block on
+     * that entry only; different keys build in parallel). With a
+     * store attached, a memory miss first tries a validated store
+     * load; any store failure (missing, corrupt, stale) silently
+     * degrades to a fresh prepare, and a failed write-through never
+     * fails the get — persistence is strictly best-effort here.
      */
     TilePlanPtr get(const CooGraph &graph, const TilingParams &tiling,
                     bool *cache_hit = nullptr);
@@ -53,13 +61,21 @@ class PlanCache
      * store attached, a memory miss first tries a validated store
      * load (skipping the O(E log E) sort entirely) and a fresh
      * prepare is written through to the store, best-effort.
+     *
+     * Thread-safe (mutex-guarded), but swapping stores mid-flight
+     * changes where concurrent misses persist — long-lived processes
+     * (graphr_serve) attach one store at startup and keep it.
      */
     void setStore(std::shared_ptr<PlanStore> store);
 
-    /** The attached store, if any. */
+    /** The attached store, if any. Thread-safe snapshot. */
     std::shared_ptr<PlanStore> store() const;
 
-    /** Drop every entry and reset the statistics. */
+    /**
+     * Drop every entry and reset the statistics (the store, if any,
+     * stays attached). Plans are shared_ptrs, so entries still held
+     * by running executors remain valid after eviction.
+     */
     void clear() { cache_.clear(); }
 
     /** Cached plan count. */

@@ -84,6 +84,15 @@ struct EngineStats
  * heavy state is the shared plan); the same instance serves the
  * timing report and any functional sweeps of that run so resident
  * weights persist across iterations.
+ *
+ * Preconditions: @p config has passed GraphRConfig::validate (the
+ * backends validate at construction) and its tiling matches the one
+ * the plan was prepared under; @p plan is non-null. Thread-safety:
+ * an instance is single-run, single-thread mutable state — parallel
+ * sweeps give every run its own executor and share only the
+ * immutable plan behind the TilePlanPtr. Functional walks mutate the
+ * GE datapath and the stats; the timing-only macReport() is const
+ * and touches neither.
  */
 class TileExecutor
 {

@@ -30,7 +30,9 @@ namespace graphr
 /**
  * Preprocessing products shared by all tile-walking runners. Built
  * once per (graph, tiling); treated as immutable afterwards so one
- * instance can be shared across runs and backends.
+ * instance can be shared across runs and backends — concurrent
+ * readers need no synchronisation, which is what lets PlanCache hand
+ * one TilePlanPtr to every worker of a parallel sweep.
  */
 struct TilePlan
 {

@@ -1,0 +1,134 @@
+#include "fd_stream.hh"
+
+#include <cerrno>
+#include <poll.h>
+#include <unistd.h>
+
+namespace graphr::service
+{
+
+namespace
+{
+
+/**
+ * The one poll loop both directions share. A signal can land between
+ * a stop-flag check and a blocking syscall — the interrupt is then
+ * consumed before the syscall starts and EINTR alone would never
+ * fire; polling with a bounded timeout closes that race (the flag is
+ * re-checked at least twice a second no matter how the signal
+ * interleaves). @p drainOnStop selects the stop semantics: false
+ * gives up the moment the flag is set (reads: stop means no more
+ * input is wanted), true keeps succeeding while the fd is instantly
+ * ready (writes: responses the server already computed still flush
+ * to a client that is draining; only a blocked fd is abandoned).
+ */
+bool
+waitFd(int fd, short events, const std::atomic<bool> *stop,
+       bool drainOnStop)
+{
+    for (;;) {
+        const bool stopping = stop != nullptr && stop->load();
+        if (stopping && !drainOnStop)
+            return false;
+        pollfd waiter = {};
+        waiter.fd = fd;
+        waiter.events = events;
+        const int timeout =
+            stopping ? 0 : (stop != nullptr ? 500 : -1);
+        const int ready = ::poll(&waiter, 1, timeout);
+        if (ready > 0)
+            return true;
+        if (ready == 0) {
+            if (stopping)
+                return false; // stopping and the fd is not ready now
+            continue;
+        }
+        if (errno == EINTR)
+            continue; // signal: re-check the stop flag
+        return false;
+    }
+}
+
+} // namespace
+
+bool
+waitReadable(int fd, const std::atomic<bool> *stop)
+{
+    return waitFd(fd, POLLIN, stop, /*drainOnStop=*/false);
+}
+
+FdInBuf::int_type
+FdInBuf::underflow()
+{
+    if (gptr() < egptr())
+        return traits_type::to_int_type(*gptr());
+    for (;;) {
+        if (!waitReadable(fd_, stop_))
+            return traits_type::eof();
+        const ssize_t n = ::read(fd_, buffer_.data(), buffer_.size());
+        if (n > 0) {
+            setg(buffer_.data(), buffer_.data(), buffer_.data() + n);
+            return traits_type::to_int_type(*gptr());
+        }
+        if (n == 0)
+            return traits_type::eof();
+        if (errno == EINTR)
+            continue; // the next iteration re-checks the stop flag
+        return traits_type::eof();
+    }
+}
+
+bool
+waitWritable(int fd, const std::atomic<bool> *stop)
+{
+    // A client that stops draining its pipe/socket would otherwise
+    // park write() forever (observed holding the server mutex),
+    // wedging the SIGTERM drain; but a stop with a *live* client
+    // must still flush every computed response — hence drainOnStop.
+    return waitFd(fd, POLLOUT, stop, /*drainOnStop=*/true);
+}
+
+bool
+FdOutBuf::writeAll(const char *data, std::streamsize n)
+{
+    while (n > 0) {
+        if (!waitWritable(fd_, stop_))
+            return false;
+        const ssize_t written =
+            ::write(fd_, data, static_cast<std::size_t>(n));
+        if (written > 0) {
+            data += written;
+            n -= written;
+            continue;
+        }
+        if (written < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+FdOutBuf::int_type
+FdOutBuf::overflow(int_type c)
+{
+    if (traits_type::eq_int_type(c, traits_type::eof()))
+        return traits_type::not_eof(c);
+    const char byte = traits_type::to_char_type(c);
+    if (!writeAll(&byte, 1))
+        return traits_type::eof();
+    return c;
+}
+
+std::streamsize
+FdOutBuf::xsputn(const char *s, std::streamsize n)
+{
+    return writeAll(s, n) ? n : 0;
+}
+
+int
+FdOutBuf::sync()
+{
+    return 0; // unbuffered: every byte already went to the fd
+}
+
+} // namespace graphr::service

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * iostream adapters over POSIX file descriptors.
+ *
+ * The serving core (server.hh) speaks std::istream/std::ostream so it
+ * is testable with stringstreams; graphr_serve wraps stdin and
+ * accepted sockets in these buffers to reuse the same session loop.
+ * With a stop flag attached, reads poll with a bounded timeout and
+ * re-check the flag each tick, so a SIGTERM surfaces as EOF within
+ * half a second even when it lands in the unwinnable window between
+ * a flag check and the blocking syscall — EOF being exactly the
+ * server's graceful-drain path. Writes retry short writes and EINTR.
+ */
+
+#ifndef GRAPHR_SERVICE_FD_STREAM_HH
+#define GRAPHR_SERVICE_FD_STREAM_HH
+
+#include <array>
+#include <atomic>
+#include <streambuf>
+
+namespace graphr::service
+{
+
+/**
+ * Poll @p fd until readable; false on EOF-worthy conditions or once
+ * @p stop (optional) is set — re-checked every 500 ms, so a signal
+ * racing the blocking syscall cannot wedge the caller.
+ */
+bool waitReadable(int fd, const std::atomic<bool> *stop);
+
+/** Read-side streambuf over a file descriptor (not owned). */
+class FdInBuf : public std::streambuf
+{
+  public:
+    /**
+     * @param fd    descriptor to read from (caller closes it)
+     * @param stop  optional flag; when set, the next refill reports
+     *              EOF instead of blocking again
+     */
+    explicit FdInBuf(int fd, const std::atomic<bool> *stop = nullptr)
+        : fd_(fd), stop_(stop)
+    {
+    }
+
+  protected:
+    int_type underflow() override;
+
+  private:
+    int fd_;
+    const std::atomic<bool> *stop_;
+    std::array<char, 4096> buffer_;
+};
+
+/**
+ * Poll @p fd until writable. With @p stop set, succeeds only while
+ * the fd is instantly writable: a draining client still receives
+ * every computed response during shutdown, but a client that stopped
+ * reading cannot park write() forever and wedge the graceful drain.
+ */
+bool waitWritable(int fd, const std::atomic<bool> *stop);
+
+/** Write-side streambuf over a file descriptor (not owned). */
+class FdOutBuf : public std::streambuf
+{
+  public:
+    /**
+     * @param fd    descriptor to write to (caller closes it)
+     * @param stop  optional flag; once set, writes succeed only while
+     *              the fd stays instantly writable — a blocked write
+     *              gives up (the stream fails) instead of waiting on
+     *              a client that no longer drains
+     */
+    explicit FdOutBuf(int fd, const std::atomic<bool> *stop = nullptr)
+        : fd_(fd), stop_(stop)
+    {
+    }
+
+  protected:
+    int_type overflow(int_type c) override;
+    int sync() override;
+    std::streamsize xsputn(const char *s, std::streamsize n) override;
+
+  private:
+    /** write() everything, retrying short writes and EINTR. */
+    bool writeAll(const char *data, std::streamsize n);
+
+    int fd_;
+    const std::atomic<bool> *stop_;
+};
+
+} // namespace graphr::service
+
+#endif // GRAPHR_SERVICE_FD_STREAM_HH

@@ -1,0 +1,157 @@
+#include "request.hh"
+
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/json_reader.hh"
+#include "driver/run_result.hh"
+#include "driver/spec_json.hh"
+
+namespace graphr::service
+{
+
+namespace
+{
+
+/** Members the request envelope owns; spec parsing skips them. */
+const std::vector<std::string> kEnvelopeKeys = {"id", "type"};
+
+} // namespace
+
+ParsedLine
+parseRequestLine(const std::string &line)
+{
+    ParsedLine parsed;
+    JsonValue root;
+    try {
+        root = JsonValue::parse(line);
+    } catch (const JsonParseError &err) {
+        parsed.error = err.what();
+        return parsed;
+    }
+    if (!root.isObject()) {
+        parsed.error = std::string("a request must be a JSON object, "
+                                   "got ") +
+                       root.typeName();
+        return parsed;
+    }
+
+    // Recover the id first so every later failure can echo it.
+    const JsonValue *id = root.find("id");
+    if (id == nullptr) {
+        parsed.error = "request needs a string 'id'";
+        return parsed;
+    }
+    if (!id->isString() || id->asString().empty()) {
+        parsed.error = "'id' must be a non-empty string";
+        return parsed;
+    }
+    parsed.request.id = id->asString();
+
+    const JsonValue *type = root.find("type");
+    if (type == nullptr || !type->isString()) {
+        parsed.error = "request needs a string 'type' "
+                       "(run, sweep, prepare, status)";
+        return parsed;
+    }
+    const std::string &name = type->asString();
+
+    try {
+        if (name == "run") {
+            parsed.request.type = RequestType::kRun;
+            parsed.request.sweep = driver::sweepSpecFromJson(
+                root, /*single=*/true, kEnvelopeKeys);
+        } else if (name == "sweep") {
+            parsed.request.type = RequestType::kSweep;
+            parsed.request.sweep = driver::sweepSpecFromJson(
+                root, /*single=*/false, kEnvelopeKeys);
+        } else if (name == "prepare") {
+            parsed.request.type = RequestType::kPrepare;
+            parsed.request.prepare =
+                driver::prepareSpecFromJson(root, kEnvelopeKeys);
+        } else if (name == "status") {
+            parsed.request.type = RequestType::kStatus;
+            driver::rejectUnknownMembers(root, kEnvelopeKeys,
+                                         "status request");
+        } else {
+            parsed.error = "unknown request type '" + name +
+                           "' (known: run, sweep, prepare, status)";
+            return parsed;
+        }
+    } catch (const driver::DriverError &err) {
+        parsed.error = err.what();
+        return parsed;
+    }
+    parsed.ok = true;
+    return parsed;
+}
+
+std::string
+errorResponse(const std::string &id, const std::string &error)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os, /*indent=*/0);
+        w.beginObject();
+        if (id.empty())
+            w.key("id").null();
+        else
+            w.field("id", id);
+        w.field("ok", false);
+        w.field("error", error);
+        w.endObject();
+    }
+    return os.str();
+}
+
+std::string
+resultsResponse(const std::string &id, const char *type,
+                const std::vector<driver::RunResult> &results)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os, /*indent=*/0);
+        w.beginObject();
+        w.field("id", id);
+        w.field("ok", true);
+        w.field("type", type);
+        w.key("results");
+        w.beginArray();
+        for (const driver::RunResult &r : results)
+            r.toJson(w);
+        w.endArray();
+        w.endObject();
+    }
+    return os.str();
+}
+
+std::string
+prepareResponse(const std::string &id,
+                const std::vector<driver::PrepareResult> &prepared)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os, /*indent=*/0);
+        w.beginObject();
+        w.field("id", id);
+        w.field("ok", true);
+        w.field("type", "prepare");
+        w.key("prepared");
+        w.beginArray();
+        for (const driver::PrepareResult &p : prepared) {
+            w.beginObject();
+            w.field("dataset", p.dataset);
+            w.field("variant", p.variant);
+            w.field("edges", p.edges);
+            w.field("tiles", p.tiles);
+            w.field("artifact", p.file);
+            w.field("reused", p.reused);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    return os.str();
+}
+
+} // namespace graphr::service

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The graphr_serve request/response grammar.
+ *
+ * One request is one JSON object on one line (JSONL). Every request
+ * carries a caller-chosen "id" (a non-empty string) and a "type";
+ * every response is one line echoing that id, so callers can pipeline
+ * requests and match answers even though the daemon executes them
+ * concurrently. The four request types:
+ *
+ *   {"id": "r1", "type": "run", "workload": "pagerank",
+ *    "backend": "graphr", "dataset": "wiki-vote", "scale": 4}
+ *   {"id": "s1", "type": "sweep", "workloads": ["all"],
+ *    "backends": ["graphr", "outofcore"], "datasets": ["wiki-vote"]}
+ *   {"id": "p1", "type": "prepare", "datasets": ["wiki-vote"]}
+ *   {"id": "q1", "type": "status"}
+ *
+ * Responses are {"id": ..., "ok": true, "type": ..., ...payload} or
+ * {"id": ..., "ok": false, "error": "..."}. Parsing is total: any
+ * malformed line maps onto a structured error response (never a crash
+ * or a silent drop), with the id echoed whenever it was recoverable.
+ *
+ * Spec members (workload/backend/dataset/params/scale/seed/nodes/
+ * functional) are shared with the CLI flag surface via
+ * driver/spec_json.hh; docs/CLI.md documents both side by side.
+ */
+
+#ifndef GRAPHR_SERVICE_REQUEST_HH
+#define GRAPHR_SERVICE_REQUEST_HH
+
+#include <string>
+#include <vector>
+
+#include "driver/driver.hh"
+#include "driver/prepare.hh"
+
+namespace graphr::service
+{
+
+/** The request types graphr_serve understands. */
+enum class RequestType
+{
+    kRun,     ///< one workload x backend x dataset combination
+    kSweep,   ///< a cross product of name lists
+    kPrepare, ///< offline preprocessing into the daemon's plan store
+    kStatus,  ///< cache occupancy + served-request counters
+};
+
+/** One parsed, validated request. */
+struct Request
+{
+    std::string id;
+    RequestType type = RequestType::kRun;
+    /** Run/sweep payload (datasets list drives batching). */
+    driver::SweepSpec sweep;
+    /** Prepare payload (store/jobs are filled in by the server). */
+    driver::PrepareSpec prepare;
+};
+
+/** Outcome of parsing one JSONL line. */
+struct ParsedLine
+{
+    /** False: `error` holds the structured failure, `request.id`
+     *  the recovered id ("" when even the id was unreadable). */
+    bool ok = false;
+    Request request;
+    std::string error;
+};
+
+/**
+ * Parse and validate one request line. Never throws: malformed JSON,
+ * a missing/empty id, an unknown type, unknown spec members and
+ * unknown workload/backend names all come back as `ok == false` with
+ * an actionable `error` message.
+ */
+ParsedLine parseRequestLine(const std::string &line);
+
+/** {"id":...,"ok":false,"error":...} — one line, no trailing \n. */
+std::string errorResponse(const std::string &id,
+                          const std::string &error);
+
+/**
+ * {"id":...,"ok":true,"type":...,"results":[...]} — the compact
+ * single-line form of driver::writeResultsJson, one RunResult object
+ * per executed combination in spec order. Byte-identical results
+ * produce byte-identical responses, which is what the serve tests
+ * and CI smoke assert.
+ */
+std::string
+resultsResponse(const std::string &id, const char *type,
+                const std::vector<driver::RunResult> &results);
+
+/** {"id":...,"ok":true,"type":"prepare","prepared":[...]}. */
+std::string
+prepareResponse(const std::string &id,
+                const std::vector<driver::PrepareResult> &prepared);
+
+} // namespace graphr::service
+
+#endif // GRAPHR_SERVICE_REQUEST_HH

@@ -1,0 +1,287 @@
+#include "server.hh"
+
+#include <exception>
+#include <sstream>
+
+#include "common/json.hh"
+#include "driver/golden_cache.hh"
+#include "graphr/engine/plan_cache.hh"
+#include "store/plan_store.hh"
+
+namespace graphr::service
+{
+
+namespace
+{
+
+/** Strip surrounding whitespace (JSONL lines may end in \r). */
+std::string
+trimmed(const std::string &line)
+{
+    std::size_t first = 0;
+    std::size_t last = line.size();
+    while (first < last &&
+           (line[first] == ' ' || line[first] == '\t'))
+        ++first;
+    while (last > first &&
+           (line[last - 1] == ' ' || line[last - 1] == '\t' ||
+            line[last - 1] == '\r' || line[last - 1] == '\n'))
+        --last;
+    return line.substr(first, last - first);
+}
+
+} // namespace
+
+Server::Server(const ServeOptions &options)
+    : options_(options),
+      pool_(ThreadPool::effectiveJobs(options.jobs))
+{
+    // Attach (or detach) the daemon-wide store up front: an unusable
+    // --plan-dir must fail at startup, not on the first request.
+    driver::installPlanStore(options_.store);
+}
+
+Server::~Server()
+{
+    drain();
+    PlanCache::instance().setStore(nullptr);
+}
+
+ServeCounters
+Server::counters() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+void
+Server::serve(std::istream &in, std::ostream &out)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        out_ = &out;
+    }
+    std::string line;
+    while (!stop_.load() && std::getline(in, line)) {
+        // A stop-flag EOF can surface mid-line; the unterminated
+        // fragment is half a request the client never finished, not
+        // input to answer (a final newline-less line from a client
+        // that simply closed cleanly still parses: stop_ is unset).
+        if (!in.good() && stop_.load())
+            break;
+        const std::string request = trimmed(line);
+        if (!request.empty())
+            handleLine(request);
+    }
+    drain();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out_ = nullptr;
+}
+
+void
+Server::handleLine(const std::string &line)
+{
+    const ParsedLine parsed = parseRequestLine(line);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Backpressure: responses flush in admission order, so a slow
+    // in-flight request makes later (even immediate) responses
+    // buffer in ready_. Cap that buffer at the admission depth by
+    // pausing the reader — a flood of malformed or rejected lines
+    // then blocks on the socket instead of growing daemon memory.
+    idle_.wait(lock, [this] {
+        return ready_.size() <= options_.queueDepth;
+    });
+    const std::uint64_t seq = nextSeq_++;
+
+    if (!parsed.ok) {
+        ++counters_.invalid;
+        respondImmediate(seq, errorResponse(parsed.request.id,
+                                            parsed.error));
+        return;
+    }
+    const Request &request = parsed.request;
+
+    if (request.type == RequestType::kStatus) {
+        // Status is a barrier: drain everything admitted before it so
+        // its counters and cache statistics are deterministic.
+        idle_.wait(lock, [this] { return outstanding_ == 0; });
+        ready_.emplace(seq, statusTextLocked(request.id));
+        flushLocked();
+        return;
+    }
+
+    // Bounded admission: beyond queueDepth outstanding requests the
+    // caller gets a structured rejection, never a silent drop.
+    if (outstanding_ >= options_.queueDepth) {
+        ++counters_.rejected;
+        respondImmediate(
+            seq, errorResponse(
+                     request.id,
+                     "queue full (" + std::to_string(outstanding_) +
+                         " outstanding, depth " +
+                         std::to_string(options_.queueDepth) +
+                         "); retry after a response drains"));
+        return;
+    }
+
+    if (request.type == RequestType::kPrepare) {
+        if (options_.store.planDir.empty()) {
+            ++counters_.admitted;
+            ++counters_.failed;
+            respondImmediate(
+                seq, errorResponse(request.id,
+                                   "prepare needs a plan store: start "
+                                   "graphr_serve with --plan-dir"));
+            return;
+        }
+        ++counters_.admitted;
+        ++outstanding_;
+        driver::PrepareSpec spec = request.prepare;
+        spec.store = options_.store;
+        spec.jobs = 1; // request-level concurrency comes from the pool
+        pool_.submit([this, seq, id = request.id, spec] {
+            try {
+                finishJob(seq,
+                          prepareResponse(id,
+                                          driver::runPrepare(spec,
+                                                             nullptr)),
+                          true);
+            } catch (const std::exception &err) {
+                finishJob(seq, errorResponse(id, err.what()), false);
+            }
+        });
+        return;
+    }
+
+    // Run and sweep requests execute identically — one SweepSpec
+    // task on the pool (a run is the single-combination case, which
+    // parseRequestLine already enforced). One task per request keeps
+    // every worker busy under bursts; responses still come back in
+    // admission order via the seq-ordered flush, and a failing
+    // request answers alone without touching its neighbours.
+    ++counters_.admitted;
+    ++outstanding_;
+    driver::SweepSpec spec = request.sweep;
+    spec.store = options_.store;
+    spec.jobs = 1; // request-level concurrency comes from the pool
+    const char *type =
+        request.type == RequestType::kRun ? "run" : "sweep";
+    pool_.submit([this, seq, id = request.id, spec, type] {
+        try {
+            finishJob(seq,
+                      resultsResponse(id, type,
+                                      driver::runSweep(spec, nullptr)),
+                      true);
+        } catch (const std::exception &err) {
+            finishJob(seq, errorResponse(id, err.what()), false);
+        }
+    });
+}
+
+void
+Server::finishJob(std::uint64_t seq, std::string text, bool ok)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (ok)
+        ++counters_.completed;
+    else
+        ++counters_.failed;
+    ready_.emplace(seq, std::move(text));
+    --outstanding_;
+    flushLocked();
+    // Wakes the status barrier (outstanding_ may have hit zero) and
+    // the reader's backpressure wait (ready_ may have drained).
+    idle_.notify_all();
+}
+
+void
+Server::respondImmediate(std::uint64_t seq, std::string text)
+{
+    ready_.emplace(seq, std::move(text));
+    flushLocked();
+}
+
+void
+Server::flushLocked()
+{
+    if (out_ == nullptr)
+        return;
+    for (auto it = ready_.find(nextFlush_); it != ready_.end();
+         it = ready_.find(nextFlush_)) {
+        // One line per response, flushed immediately so pipelined
+        // clients see answers as they drain, not at EOF.
+        (*out_) << it->second << '\n' << std::flush;
+        ready_.erase(it);
+        ++nextFlush_;
+    }
+}
+
+void
+Server::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return outstanding_ == 0; });
+    flushLocked();
+}
+
+std::string
+Server::statusTextLocked(const std::string &id) const
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os, /*indent=*/0);
+        w.beginObject();
+        w.field("id", id);
+        w.field("ok", true);
+        w.field("type", "status");
+        w.key("served");
+        w.beginObject();
+        w.field("admitted", counters_.admitted);
+        w.field("completed", counters_.completed);
+        w.field("failed", counters_.failed);
+        w.field("rejected", counters_.rejected);
+        w.field("invalid", counters_.invalid);
+        w.endObject();
+        w.field("jobs",
+                static_cast<std::uint64_t>(pool_.numThreads()));
+        w.field("queue_depth",
+                static_cast<std::uint64_t>(options_.queueDepth));
+
+        const PlanCache::Stats plan = PlanCache::instance().stats();
+        w.key("plan_cache");
+        w.beginObject();
+        w.field("size", static_cast<std::uint64_t>(
+                            PlanCache::instance().size()));
+        w.field("hits", plan.hits);
+        w.field("misses", plan.misses);
+        w.endObject();
+
+        const driver::GoldenCacheStats golden =
+            driver::goldenCacheStats();
+        w.key("golden_cache");
+        w.beginObject();
+        w.field("hits", golden.hits);
+        w.field("misses", golden.misses);
+        w.endObject();
+
+        w.key("store");
+        if (const std::shared_ptr<PlanStore> store =
+                PlanCache::instance().store()) {
+            const PlanStore::Stats stats = store->stats();
+            w.beginObject();
+            w.field("dir", store->directory());
+            w.field("load_hits", stats.loadHits);
+            w.field("load_misses", stats.loadMisses);
+            w.field("load_rejects", stats.loadRejects);
+            w.field("saves", stats.saves);
+            w.endObject();
+        } else {
+            w.null();
+        }
+        w.endObject();
+    }
+    return os.str();
+}
+
+} // namespace graphr::service

@@ -89,7 +89,13 @@ struct PlanArtifactInfo
 
 /**
  * Directory of persistent TilePlan artifacts. Thread-safe: loads are
- * read-only, saves are write-then-rename with unique temporaries.
+ * read-only, saves are write-then-rename with unique temporaries, so
+ * concurrent writers of the same key race benignly (last rename
+ * wins, every version is complete and valid) and readers never see a
+ * partial file. Failure split: load() treats every defect as a miss
+ * (nullptr — the caller re-prepares), while save() throws StoreError
+ * on I/O failure, because losing an artifact the user asked to
+ * persist must be loud.
  */
 class PlanStore
 {

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Docs link check (run from ctest and CI): every relative markdown
+# link in README.md and docs/*.md must resolve to an existing file or
+# directory, so the docs tree cannot silently rot as files move.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+status=0
+
+for doc in "$root"/README.md "$root"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir="$(dirname "$doc")"
+  # Markdown links: the (target) of every ](target); external URLs
+  # and pure in-page anchors are skipped.
+  grep -oE '\]\([^)]+\)' "$doc" | sed -e 's/^](//' -e 's/)$//' \
+    | while IFS= read -r target; do
+      case "$target" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+      esac
+      path="${target%%#*}"
+      [ -n "$path" ] || continue
+      if [ ! -e "$dir/$path" ]; then
+        echo "broken link in ${doc#"$root"/}: $target"
+        exit 1
+      fi
+    done || status=1
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "docs links ok"
+fi
+exit "$status"

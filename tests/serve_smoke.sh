@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the graphr_serve daemon (run from ctest and CI):
+# pipe three JSONL requests — two identical run requests (the second
+# must be answered from the process-resident plan cache) and a status
+# barrier — through --stdin, then assert:
+#   1. exactly one response line per request, ids echoed in order;
+#   2. the duplicate-plan request's report is byte-identical to the
+#      first (only the echoed id differs);
+#   3. status shows the plan-cache hit the duplicate produced.
+set -eu
+
+serve_bin="$1"
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+printf '%s\n' \
+  '{"id":"r1","type":"run","workload":"pagerank","backend":"outofcore","dataset":"rmat:vertices=128,edges=512,seed=3"}' \
+  '{"id":"r2","type":"run","workload":"pagerank","backend":"outofcore","dataset":"rmat:vertices=128,edges=512,seed=3"}' \
+  '{"id":"q1","type":"status"}' \
+  | "$serve_bin" --stdin > "$out"
+
+test "$(wc -l < "$out")" -eq 3
+
+r1="$(sed -n 1p "$out" | sed 's/"id":"r1"/"id":"X"/')"
+r2="$(sed -n 2p "$out" | sed 's/"id":"r2"/"id":"X"/')"
+if [ "$r1" != "$r2" ]; then
+  echo "duplicate-plan request reports differ:" >&2
+  echo "  $r1" >&2
+  echo "  $r2" >&2
+  exit 1
+fi
+
+status_line="$(sed -n 3p "$out")"
+echo "$status_line" | grep -q '"id":"q1"'
+echo "$status_line" | grep -o '"plan_cache":{[^}]*}' \
+  | grep -q '"hits":1' \
+  || { echo "no plan-cache hit in: $status_line" >&2; exit 1; }
+echo "$status_line" | grep -o '"served":{[^}]*}' \
+  | grep -q '"completed":2'
+
+echo "serve smoke ok"

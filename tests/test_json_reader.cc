@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the strict JSON reader: round-trips of every value type,
+ * escape handling, raw-token integer reads, and — most importantly
+ * for the serving daemon — every malformed-input path throwing
+ * JsonParseError instead of crashing or mis-parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json_reader.hh"
+
+namespace graphr
+{
+namespace
+{
+
+TEST(JsonReader, ParsesScalars)
+{
+    EXPECT_TRUE(JsonValue::parse("null").isNull());
+    EXPECT_TRUE(JsonValue::parse("true").asBool());
+    EXPECT_FALSE(JsonValue::parse("false").asBool());
+    EXPECT_DOUBLE_EQ(JsonValue::parse("0.85").asDouble(), 0.85);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("-2e3").asDouble(), -2000.0);
+    EXPECT_EQ(JsonValue::parse("\"hi\"").asString(), "hi");
+    EXPECT_EQ(JsonValue::parse("  42  ").asU64(), 42u);
+}
+
+TEST(JsonReader, UnderflowRoundsToZeroButOverflowIsRejected)
+{
+    // Subnormal underflow loses precision like any rounding; it must
+    // not become a parse error (that would drop the request id in a
+    // serve response). Overflow to infinity stays a hard error.
+    EXPECT_DOUBLE_EQ(JsonValue::parse("1e-400").asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("-1.5e-400").asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(
+        JsonValue::parse("0.0000000000000000000001e-380").asDouble(),
+        0.0);
+    EXPECT_THROW(JsonValue::parse("1e400"), JsonParseError);
+    EXPECT_THROW(JsonValue::parse("-123.4e999"), JsonParseError);
+}
+
+TEST(JsonReader, NumberTokenKeepsTheSourceSpelling)
+{
+    EXPECT_EQ(JsonValue::parse("0.850").numberToken(), "0.850");
+    EXPECT_EQ(JsonValue::parse("1e-3").numberToken(), "1e-3");
+}
+
+TEST(JsonReader, U64SurvivesAboveDoublePrecision)
+{
+    // 2^63 + 1 is not representable as a double; the raw token is.
+    EXPECT_EQ(JsonValue::parse("9223372036854775809").asU64(),
+              9223372036854775809ull);
+    EXPECT_THROW(JsonValue::parse("-1").asU64(), JsonParseError);
+    EXPECT_THROW(JsonValue::parse("1.5").asU64(), JsonParseError);
+    // Integral exponent forms are accepted.
+    EXPECT_EQ(JsonValue::parse("1e3").asU64(), 1000u);
+}
+
+TEST(JsonReader, ParsesNestedContainers)
+{
+    const JsonValue v = JsonValue::parse(
+        R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+    ASSERT_TRUE(v.isObject());
+    const JsonValue *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->items().size(), 3u);
+    EXPECT_EQ(a->items()[0].asU64(), 1u);
+    EXPECT_EQ(a->items()[2].find("b")->asString(), "c");
+    EXPECT_TRUE(v.find("d")->find("e")->isNull());
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonReader, DecodesEscapes)
+{
+    const JsonValue v = JsonValue::parse(
+        R"("q\" b\\ s\/ \b\f\n\r\t u\u0041 e\u00e9")");
+    EXPECT_EQ(v.asString(),
+              "q\" b\\ s/ \b\f\n\r\t uA e\xc3\xa9");
+    // Surrogate pair: U+1F600 as UTF-8.
+    EXPECT_EQ(JsonValue::parse(R"("\ud83d\ude00")").asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReader, DuplicateKeysResolveLastWins)
+{
+    const JsonValue v = JsonValue::parse(R"({"k": 1, "k": 2})");
+    EXPECT_EQ(v.members().size(), 2u);
+    EXPECT_EQ(v.find("k")->asU64(), 2u);
+}
+
+TEST(JsonReader, RejectsMalformedInput)
+{
+    const char *bad[] = {
+        "",                      // empty
+        "{",                     // unterminated object
+        "[1, 2",                 // unterminated array
+        "{\"a\": 1,}",           // trailing comma
+        "{\"a\" 1}",             // missing colon
+        "{a: 1}",                // unquoted key
+        "\"unterminated",        // unterminated string
+        "\"bad \\x escape\"",    // unknown escape
+        "\"\\ud83d\"",           // unpaired surrogate
+        "01",                    // leading zero
+        "1.",                    // digitless fraction
+        "1e",                    // digitless exponent
+        "nul",                   // truncated literal
+        "true false",            // trailing value
+        "\"tab\tinside\"",       // raw control character
+        "1e999",                 // overflows double to infinity
+        "-1e999",                // overflows double to -infinity
+    };
+    for (const char *text : bad) {
+        EXPECT_THROW(JsonValue::parse(text), JsonParseError)
+            << "input: " << text;
+    }
+}
+
+TEST(JsonReader, RejectsRunawayNesting)
+{
+    std::string deep;
+    for (int i = 0; i < JsonValue::kMaxDepth + 2; ++i)
+        deep += "[";
+    EXPECT_THROW(JsonValue::parse(deep), JsonParseError);
+}
+
+TEST(JsonReader, TypeMismatchesThrow)
+{
+    const JsonValue v = JsonValue::parse("[1]");
+    EXPECT_THROW(v.asString(), JsonParseError);
+    EXPECT_THROW(v.asBool(), JsonParseError);
+    EXPECT_THROW(v.members(), JsonParseError);
+    EXPECT_THROW(JsonValue::parse("{}").items(), JsonParseError);
+}
+
+} // namespace
+} // namespace graphr

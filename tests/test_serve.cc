@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Tests for the graphr_serve serving core: the request parser's
+ * error paths (malformed JSON, unknown type/workload/backend/dataset,
+ * queue overflow — all structured responses, never a crash), the
+ * warm-state guarantees (a repeated request is plan-cache-hot and
+ * edge-sort-free), response/one-shot-driver equivalence, and
+ * serial-vs-concurrent byte-identical response streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json_reader.hh"
+#include "driver/driver.hh"
+#include "driver/golden_cache.hh"
+#include "graph/preprocess.hh"
+#include "graphr/engine/plan_cache.hh"
+#include "service/request.hh"
+#include "service/server.hh"
+
+namespace graphr
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Isolates the process-wide caches around every test. */
+class ServeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        resetCaches();
+    }
+
+    void
+    TearDown() override
+    {
+        resetCaches();
+    }
+
+    static void
+    resetCaches()
+    {
+        PlanCache::instance().setStore(nullptr);
+        PlanCache::instance().clear();
+        driver::clearGoldenCache();
+    }
+};
+
+/** One serve session over string streams; returns the response text. */
+std::string
+serveText(service::Server &server, const std::string &input)
+{
+    std::istringstream in(input);
+    std::ostringstream out;
+    server.serve(in, out);
+    return out.str();
+}
+
+std::string
+serveText(const std::string &input,
+          const service::ServeOptions &options = {})
+{
+    service::Server server(options);
+    return serveText(server, input);
+}
+
+/** Split response text into lines (each one JSON object). */
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line))
+        out.push_back(line);
+    return out;
+}
+
+/** Every response must parse back as one JSON object per line. */
+JsonValue
+parsedResponse(const std::string &line)
+{
+    const JsonValue v = JsonValue::parse(line);
+    EXPECT_TRUE(v.isObject()) << line;
+    return v;
+}
+
+void
+expectError(const std::string &line, const std::string &id,
+            const std::string &fragment)
+{
+    const JsonValue v = parsedResponse(line);
+    EXPECT_FALSE(v.find("ok")->asBool()) << line;
+    if (id.empty())
+        EXPECT_TRUE(v.find("id")->isNull()) << line;
+    else
+        EXPECT_EQ(v.find("id")->asString(), id) << line;
+    EXPECT_NE(v.find("error")->asString().find(fragment),
+              std::string::npos)
+        << "expected '" << fragment << "' in: " << line;
+}
+
+const char *const kRunRequest =
+    R"({"id":"r1","type":"run","workload":"pagerank",)"
+    R"("backend":"outofcore","dataset":"rmat:vertices=128,edges=1024,seed=9"})";
+
+TEST_F(ServeTest, MalformedJsonIsAStructuredErrorResponse)
+{
+    const auto out = lines(serveText("{\"id\": \"x\", nope\n"));
+    ASSERT_EQ(out.size(), 1u);
+    expectError(out[0], "", "JSON error");
+}
+
+TEST_F(ServeTest, MissingOrBadIdIsAnError)
+{
+    const auto out = lines(serveText(
+        "{\"type\":\"status\"}\n{\"id\":\"\",\"type\":\"status\"}\n"
+        "{\"id\":7,\"type\":\"status\"}\n"));
+    ASSERT_EQ(out.size(), 3u);
+    expectError(out[0], "", "needs a string 'id'");
+    expectError(out[1], "", "non-empty");
+    expectError(out[2], "", "non-empty");
+}
+
+TEST_F(ServeTest, UnknownTypeIsAnError)
+{
+    const auto out =
+        lines(serveText("{\"id\":\"x\",\"type\":\"frobnicate\"}\n"));
+    ASSERT_EQ(out.size(), 1u);
+    expectError(out[0], "x", "unknown request type 'frobnicate'");
+}
+
+TEST_F(ServeTest, UnknownNamesAndMembersAreErrors)
+{
+    const auto out = lines(serveText(
+        R"({"id":"a","type":"run","workload":"nope","dataset":"chain:n=8"})"
+        "\n"
+        R"({"id":"b","type":"run","backend":"nope","dataset":"chain:n=8"})"
+        "\n"
+        R"({"id":"c","type":"run","dataset":"chain:n=8","plan_dir":"x"})"
+        "\n"
+        R"({"id":"d","type":"run","workload":"pagerank"})"
+        "\n"));
+    ASSERT_EQ(out.size(), 4u);
+    expectError(out[0], "a", "unknown workload 'nope'");
+    expectError(out[1], "b", "unknown backend 'nope'");
+    expectError(out[2], "c", "unknown member 'plan_dir'");
+    expectError(out[3], "d", "needs 'dataset'");
+}
+
+TEST_F(ServeTest, UnknownDatasetFailsAtExecutionWithAnErrorResponse)
+{
+    const auto out = lines(serveText(
+        R"({"id":"a","type":"run","dataset":"no-such-graph"})" "\n"));
+    ASSERT_EQ(out.size(), 1u);
+    expectError(out[0], "a", "no-such-graph");
+}
+
+TEST_F(ServeTest, RunRequestRejectsListValuedSpecs)
+{
+    const auto out = lines(serveText(
+        R"({"id":"a","type":"run","workloads":["all"],"dataset":"chain:n=8"})"
+        "\n"));
+    ASSERT_EQ(out.size(), 1u);
+    expectError(out[0], "a", "exactly one");
+}
+
+TEST_F(ServeTest, QueueDepthBoundsAdmission)
+{
+    service::ServeOptions options;
+    options.queueDepth = 0; // reject every work request
+    const auto out = lines(serveText(
+        std::string(kRunRequest) + "\n" +
+            R"({"id":"q","type":"status"})" + "\n",
+        options));
+    ASSERT_EQ(out.size(), 2u);
+    expectError(out[0], "r1", "queue full");
+    const JsonValue status = parsedResponse(out[1]);
+    EXPECT_TRUE(status.find("ok")->asBool());
+    EXPECT_EQ(status.find("served")->find("rejected")->asU64(), 1u);
+    EXPECT_EQ(status.find("served")->find("admitted")->asU64(), 0u);
+}
+
+TEST_F(ServeTest, ResponseMatchesOneShotDriverExecution)
+{
+    // The serve pipeline (JSON -> spec -> batch -> pool) must produce
+    // byte-identical results to calling the driver directly with the
+    // same spec — the one-shot graphr_run path.
+    driver::SweepSpec spec;
+    spec.workloads = {"pagerank"};
+    spec.backends = {"outofcore"};
+    spec.datasets = {"rmat:vertices=128,edges=1024,seed=9"};
+    const std::vector<driver::RunResult> direct =
+        driver::runSweep(spec, nullptr);
+    const std::string expected =
+        service::resultsResponse("r1", "run", direct);
+
+    resetCaches();
+    const auto out = lines(serveText(std::string(kRunRequest) + "\n"));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], expected);
+}
+
+TEST_F(ServeTest, WarmRepeatRequestHitsThePlanCacheAndSkipsTheSort)
+{
+    service::Server server({});
+
+    const std::uint64_t sorts_before =
+        OrderedEdgeList::sortsPerformed();
+    const std::string first =
+        serveText(server, std::string(kRunRequest) + "\n");
+    const std::uint64_t sorts_cold =
+        OrderedEdgeList::sortsPerformed() - sorts_before;
+    EXPECT_GT(sorts_cold, 0u);
+
+    // Second session on the same server: resident plan, zero sorts.
+    const std::string second =
+        serveText(server, std::string(kRunRequest) + "\n");
+    EXPECT_EQ(OrderedEdgeList::sortsPerformed() - sorts_before,
+              sorts_cold)
+        << "warm request re-sorted the edge list";
+    EXPECT_EQ(first, second);
+
+    // And the status barrier reports the hit.
+    const auto status = lines(
+        serveText(server, "{\"id\":\"q\",\"type\":\"status\"}\n"));
+    ASSERT_EQ(status.size(), 1u);
+    const JsonValue v = parsedResponse(status[0]);
+    EXPECT_GE(v.find("plan_cache")->find("hits")->asU64(), 1u);
+    EXPECT_EQ(v.find("served")->find("completed")->asU64(), 2u);
+}
+
+TEST_F(ServeTest, ConcurrentExecutionMatchesSerialByteForByte)
+{
+    // Distinct datasets (deterministic cache misses), a sweep, and a
+    // trailing status barrier. Only the status "jobs" field may
+    // differ between worker counts.
+    const std::string input =
+        R"({"id":"r1","type":"run","dataset":"chain:n=64"})" "\n"
+        R"({"id":"r2","type":"run","dataset":"star:n=64"})" "\n"
+        R"({"id":"r3","type":"run","dataset":"grid:width=8,height=8"})" "\n"
+        R"({"id":"s1","type":"sweep","workloads":["pagerank","wcc"],)"
+        R"("datasets":["chain:n=64"]})" "\n"
+        R"({"id":"q","type":"status"})" "\n";
+
+    service::ServeOptions serial;
+    serial.jobs = 1;
+    const std::string serial_out = serveText(input, serial);
+
+    resetCaches();
+    service::ServeOptions concurrent;
+    concurrent.jobs = 4;
+    const std::string concurrent_out = serveText(input, concurrent);
+
+    const auto strip_jobs = [](const std::string &text) {
+        return std::regex_replace(text, std::regex("\"jobs\":\\d+"),
+                                  "\"jobs\":N");
+    };
+    EXPECT_EQ(strip_jobs(serial_out), strip_jobs(concurrent_out));
+
+    // Sanity: every id answered, in admission order.
+    const auto out = lines(serial_out);
+    ASSERT_EQ(out.size(), 5u);
+    const char *expected_ids[] = {"r1", "r2", "r3", "s1", "q"};
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(parsedResponse(out[i]).find("id")->asString(),
+                  expected_ids[i]);
+    }
+}
+
+TEST_F(ServeTest, AFailingRequestCannotPoisonConcurrentRequests)
+{
+    // Each request executes as its own pool task; the bad dataset
+    // must answer alone with an error while the good requests around
+    // it answer normally.
+    service::ServeOptions options;
+    options.jobs = 4;
+    const auto out = lines(serveText(
+        R"({"id":"g1","type":"run","dataset":"chain:n=64"})" "\n"
+        R"({"id":"bad","type":"run","dataset":"no-such-graph"})" "\n"
+        R"({"id":"g2","type":"run","dataset":"star:n=64"})" "\n",
+        options));
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_TRUE(parsedResponse(out[0]).find("ok")->asBool()) << out[0];
+    expectError(out[1], "bad", "no-such-graph");
+    EXPECT_TRUE(parsedResponse(out[2]).find("ok")->asBool()) << out[2];
+
+    // The good responses match what the requests yield on their own.
+    resetCaches();
+    const auto solo_g1 = lines(serveText(
+        R"({"id":"g1","type":"run","dataset":"chain:n=64"})" "\n"));
+    const auto solo_g2 = lines(serveText(
+        R"({"id":"g2","type":"run","dataset":"star:n=64"})" "\n"));
+    EXPECT_EQ(out[0], solo_g1.at(0));
+    EXPECT_EQ(out[2], solo_g2.at(0));
+}
+
+TEST_F(ServeTest, PrepareNeedsADaemonPlanStore)
+{
+    const auto out = lines(serveText(
+        R"({"id":"p","type":"prepare","datasets":["chain:n=16"]})"
+        "\n"));
+    ASSERT_EQ(out.size(), 1u);
+    expectError(out[0], "p", "--plan-dir");
+}
+
+TEST_F(ServeTest, PrepareWritesArtifactsTheNextRunLoadsSortFree)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "serve_plans";
+    fs::remove_all(dir);
+
+    service::ServeOptions options;
+    options.store.planDir = dir.string();
+    service::Server server(options);
+
+    const auto prepared = lines(serveText(
+        server,
+        R"({"id":"p","type":"prepare",)"
+        R"("datasets":["rmat:vertices=128,edges=1024,seed=9"]})"
+        "\n"));
+    ASSERT_EQ(prepared.size(), 1u);
+    const JsonValue p = parsedResponse(prepared[0]);
+    ASSERT_TRUE(p.find("ok")->asBool()) << prepared[0];
+    EXPECT_EQ(p.find("prepared")->items().size(), 2u)
+        << "plain + symmetrized variants";
+
+    // Drop the in-memory cache: the run must warm-load from disk
+    // without a single edge sort.
+    PlanCache::instance().clear();
+    const std::uint64_t sorts_before =
+        OrderedEdgeList::sortsPerformed();
+    const auto run =
+        lines(serveText(server, std::string(kRunRequest) + "\n"));
+    ASSERT_EQ(run.size(), 1u);
+    EXPECT_TRUE(parsedResponse(run[0]).find("ok")->asBool()) << run[0];
+    EXPECT_EQ(OrderedEdgeList::sortsPerformed(), sorts_before);
+
+    const auto status = lines(
+        serveText(server, "{\"id\":\"q\",\"type\":\"status\"}\n"));
+    const JsonValue v = parsedResponse(status[0]);
+    EXPECT_GE(v.find("store")->find("load_hits")->asU64(), 1u);
+    EXPECT_GE(v.find("store")->find("saves")->asU64(), 2u);
+
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace graphr
