@@ -15,6 +15,13 @@
  *
  *   graphr_run prepare --dataset wiki-vote --scale 4 --plan-dir plans/
  *   graphr_run store stats --plan-dir plans/
+ *
+ * The `bench` subcommand runs the perf suites (src/perf/) and emits a
+ * BENCH_*.json trajectory point; `bench compare` is the regression
+ * gate CI runs against the checked-in baseline:
+ *
+ *   graphr_run bench --suite small --out BENCH_1.json
+ *   graphr_run bench compare BENCH_0.json BENCH_1.json --threshold 10
  */
 
 #include <fstream>
@@ -24,6 +31,67 @@
 #include "driver/cli.hh"
 #include "driver/run_result.hh"
 #include "graphr/config.hh"
+#include "perf/compare.hh"
+#include "perf/suite.hh"
+
+namespace
+{
+
+/** Run a suite, print the table, optionally write BENCH json. */
+int
+runBench(const graphr::driver::CliOptions &opts)
+{
+    using namespace graphr::perf;
+
+    SuiteOptions suite_opts;
+    suite_opts.reps = opts.benchReps;
+    suite_opts.warmups = opts.benchWarmups;
+    suite_opts.progress = &std::cerr;
+    const BenchReport report = runSuite(opts.benchSuite, suite_opts);
+
+    // Like run/sweep: with JSON going to stdout, the human-readable
+    // table moves to stderr so stdout stays machine-readable.
+    std::ostream &text = opts.outPath == "-" ? std::cerr : std::cout;
+    text << "\n";
+    printBenchTable(text, report);
+
+    if (!opts.outPath.empty()) {
+        if (opts.outPath == "-") {
+            writeBenchJson(std::cout, report);
+        } else {
+            std::ofstream out(opts.outPath);
+            if (out)
+                writeBenchJson(out, report);
+            out.close();
+            if (!out) {
+                std::cerr << "error: cannot write '" << opts.outPath
+                          << "'\n";
+                return 1;
+            }
+            std::cerr << "wrote " << opts.outPath << "\n";
+        }
+    }
+    return 0;
+}
+
+/** Diff two BENCH files; non-zero exit when the gate fails. */
+int
+runBenchCompare(const graphr::driver::CliOptions &opts)
+{
+    using namespace graphr::perf;
+
+    CompareOptions compare_opts;
+    compare_opts.thresholdPct = opts.compareThresholdPct;
+    compare_opts.gateAll = opts.compareGateAll;
+    const BenchReport baseline = loadBenchFile(opts.compareOldPath);
+    const BenchReport candidate = loadBenchFile(opts.compareNewPath);
+    const CompareReport report =
+        compareBench(baseline, candidate, compare_opts);
+    printCompareReport(std::cout, report, compare_opts);
+    return report.ok() ? 0 : 1;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -62,6 +130,10 @@ main(int argc, char **argv)
             std::cout << storeStatsText(opts.prepare.store);
             return 0;
         }
+        if (opts.command == CliCommand::kBench)
+            return runBench(opts);
+        if (opts.command == CliCommand::kBenchCompare)
+            return runBenchCompare(opts);
 
         const std::vector<RunResult> results =
             runSweep(opts.sweep, &std::cerr);
@@ -104,6 +176,11 @@ main(int argc, char **argv)
         return 1;
     } catch (const graphr::StoreError &err) {
         // Plan-store I/O failure during prepare (artifact writes).
+        std::cerr << "error: " << err.what() << "\n";
+        return 1;
+    } catch (const graphr::perf::PerfError &err) {
+        // Bench subcommands: unknown suite, unreadable or malformed
+        // BENCH file, failed suite invariant.
         std::cerr << "error: " << err.what() << "\n";
         return 1;
     }

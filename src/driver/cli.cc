@@ -18,6 +18,85 @@ oneFlag(const std::string &flag, const std::string &value)
     return map;
 }
 
+/**
+ * Parse `bench [...]` / `bench compare OLD NEW [...]` (args starts
+ * at the "bench" word). The bench flag surface is disjoint from the
+ * run/sweep one, so it gets its own loops; compare is the only
+ * graphr_run command taking positional arguments.
+ */
+CliOptions
+parseBenchCli(CliOptions opts, const std::vector<std::string> &args)
+{
+    const auto next = [&args](std::size_t &i,
+                              const std::string &flag)
+        -> const std::string & {
+        if (i + 1 >= args.size())
+            throw DriverError("flag " + flag + " needs a value");
+        return args[++i];
+    };
+
+    if (args.size() > 1 && args[1] == "compare") {
+        opts.command = CliCommand::kBenchCompare;
+        std::vector<std::string> positional;
+        for (std::size_t i = 2; i < args.size(); ++i) {
+            const std::string &arg = args[i];
+            if (arg == "--threshold") {
+                opts.compareThresholdPct =
+                    oneFlag(arg, next(i, arg)).getDouble(arg, 10.0);
+                // Negated so NaN is rejected too.
+                if (!(opts.compareThresholdPct >= 0.0))
+                    throw DriverError("--threshold must be >= 0");
+            } else if (arg == "--gate-all") {
+                opts.compareGateAll = true;
+            } else if (arg == "--help" || arg == "-h") {
+                opts.help = true;
+            } else if (!arg.empty() && arg[0] == '-') {
+                throw DriverError("unknown bench compare flag '" +
+                                  arg + "' (see --help)");
+            } else {
+                positional.push_back(arg);
+            }
+        }
+        if (opts.help)
+            return opts;
+        if (positional.size() != 2)
+            throw DriverError(
+                "bench compare needs exactly two BENCH files: "
+                "bench compare OLD NEW");
+        opts.compareOldPath = positional[0];
+        opts.compareNewPath = positional[1];
+        return opts;
+    }
+
+    opts.command = CliCommand::kBench;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--suite") {
+            opts.benchSuite = next(i, arg);
+            if (opts.benchSuite.empty())
+                throw DriverError("--suite got an empty name");
+        } else if (arg == "--reps") {
+            opts.benchReps =
+                oneFlag(arg, next(i, arg)).getU32(arg, 5);
+            if (opts.benchReps == 0 || opts.benchReps > 1000)
+                throw DriverError("--reps must be in [1, 1000]");
+        } else if (arg == "--warmups") {
+            opts.benchWarmups =
+                oneFlag(arg, next(i, arg)).getU32(arg, 1);
+            if (opts.benchWarmups > 1000)
+                throw DriverError("--warmups must be in [0, 1000]");
+        } else if (arg == "--out" || arg == "-o") {
+            opts.outPath = next(i, arg);
+        } else if (arg == "--help" || arg == "-h") {
+            opts.help = true;
+        } else {
+            throw DriverError("unknown bench flag '" + arg +
+                              "' (see --help)");
+        }
+    }
+    return opts;
+}
+
 } // namespace
 
 CliOptions
@@ -43,6 +122,10 @@ parseCli(const std::vector<std::string> &args)
         if (args[0] == "prepare") {
             opts.command = CliCommand::kPrepare;
             first = 1;
+        } else if (args[0] == "bench") {
+            // The bench surface is disjoint from the run/sweep flag
+            // set, so it parses in its own loop and returns early.
+            return parseBenchCli(std::move(opts), args);
         } else if (args[0] == "store") {
             if (args.size() < 2 || args[1] != "stats") {
                 throw DriverError(
@@ -144,7 +227,16 @@ usageText()
        << "  prepare             offline preprocessing: sort/tile every\n"
        << "                      --dataset and persist the plan\n"
        << "                      artifacts into --plan-dir\n"
-       << "  store stats         list the artifacts in --plan-dir\n\n"
+       << "  store stats         list the artifacts in --plan-dir\n"
+       << "  bench               run a perf suite and print/emit a\n"
+       << "                      BENCH json trajectory point\n"
+       << "                      (--suite NAME, --reps N, --warmups N,\n"
+       << "                      --out FILE)\n"
+       << "  bench compare OLD NEW  diff two BENCH files; exits non-zero\n"
+       << "                      when a gated metric regresses by more\n"
+       << "                      than --threshold PCT (default 10;\n"
+       << "                      --gate-all gates wall-clock metrics "
+          "too)\n\n"
        << "flags:\n"
        << "  --algo, -a a[,b...] workloads, or 'all' (default pagerank)\n"
        << "  --backend, -b ...   backends, or 'all' (default graphr)\n"

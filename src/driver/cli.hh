@@ -23,9 +23,11 @@ namespace graphr::driver
 /** What a graphr_run invocation asks for. */
 enum class CliCommand
 {
-    kRun,        ///< default: execute a run/sweep
-    kPrepare,    ///< offline preprocessing into a plan store
-    kStoreStats, ///< list a plan store's artifacts
+    kRun,          ///< default: execute a run/sweep
+    kPrepare,      ///< offline preprocessing into a plan store
+    kStoreStats,   ///< list a plan store's artifacts
+    kBench,        ///< run a perf suite, emit BENCH_*.json
+    kBenchCompare, ///< diff two BENCH files (the regression gate)
 };
 
 /** Parsed graphr_run invocation. */
@@ -35,6 +37,19 @@ struct CliOptions
     SweepSpec sweep;
     /** Prepare subcommand spec (kPrepare; shares the flag surface). */
     PrepareSpec prepare;
+
+    /** Bench subcommand (kBench): suite + repetition policy. Plain
+     *  fields (not perf::SuiteOptions) keep driver/ free of a perf/
+     *  dependency; apps/graphr_run.cc does the mapping. */
+    std::string benchSuite = "small";
+    unsigned benchReps = 5;
+    unsigned benchWarmups = 1;
+
+    /** Bench compare subcommand (kBenchCompare). */
+    std::string compareOldPath;
+    std::string compareNewPath;
+    double compareThresholdPct = 10.0;
+    bool compareGateAll = false;
 
     /** Write the JSON report here ("" = no file, "-" = stdout). */
     std::string outPath;
@@ -66,6 +81,10 @@ struct CliOptions
  *   prepare             offline preprocessing: write plan artifacts
  *                       for every --dataset into --plan-dir
  *   store stats         list the artifacts in --plan-dir
+ *   bench               run a perf suite (--suite/--reps/--warmups),
+ *                       write BENCH json to --out
+ *   bench compare OLD NEW  diff two BENCH files; --threshold PCT and
+ *                       --gate-all set the gate policy
  * Unknown subcommands are a DriverError naming the known ones.
  *
  * Flags:

@@ -4,6 +4,7 @@
 
 #include "common/lru_cache.hh"
 #include "graphr/engine/tile_plan.hh"
+#include "perf/counters.hh"
 
 namespace graphr::driver
 {
@@ -51,10 +52,21 @@ cachedGoldenPageRank(const CooGraph &graph, const PageRankParams &params)
 {
     const Key key{graphFingerprint(graph), params.damping,
                   params.maxIterations, params.tolerance};
-    return goldenCache().getOrBuild(key, [&graph, &params] {
-        return std::make_shared<const PageRankResult>(
-            pagerank(graph, params));
-    });
+    bool hit = false;
+    std::shared_ptr<const PageRankResult> result =
+        goldenCache().getOrBuild(
+            key,
+            [&graph, &params] {
+                return std::make_shared<const PageRankResult>(
+                    pagerank(graph, params));
+            },
+            &hit);
+    static perf::Counter &hits =
+        perf::Registry::instance().counter("golden_cache.hits");
+    static perf::Counter &misses =
+        perf::Registry::instance().counter("golden_cache.misses");
+    (hit ? hits : misses).add();
+    return result;
 }
 
 GoldenCacheStats

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "perf/counters.hh"
 
 namespace graphr
 {
@@ -32,6 +33,9 @@ OrderedEdgeList::OrderedEdgeList(const CooGraph &graph,
                   "partition built for |V|=", partition.numVertices(),
                   " but graph has |V|=", graph.numVertices());
     g_sorts_performed.fetch_add(1, std::memory_order_relaxed);
+    static perf::Counter &sorts =
+        perf::Registry::instance().counter("preprocess.sorts");
+    sorts.add();
 
     const std::span<const Edge> input = graph.edges();
     std::vector<std::uint64_t> keys(input.size());

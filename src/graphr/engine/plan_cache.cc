@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "perf/counters.hh"
 #include "store/plan_store.hh"
 
 namespace graphr
@@ -51,7 +52,8 @@ PlanCache::get(const CooGraph &graph, const TilingParams &tiling,
                   tiling.crossbarsPerGe, tiling.numGe, tiling.blockSize};
     // Snapshot once: the factory runs outside every cache lock.
     const std::shared_ptr<PlanStore> store = this->store();
-    return cache_.getOrBuild(
+    bool hit = false;
+    TilePlanPtr plan = cache_.getOrBuild(
         key,
         [&graph, &tiling, fingerprint, &store] {
             if (store != nullptr) {
@@ -72,7 +74,18 @@ PlanCache::get(const CooGraph &graph, const TilingParams &tiling,
             }
             return built;
         },
-        cache_hit);
+        &hit);
+    // Publish into the process-wide perf registry (perf/counters.hh);
+    // the references are resolved once, the hot path pays one
+    // relaxed fetch_add.
+    static perf::Counter &hits =
+        perf::Registry::instance().counter("plan_cache.hits");
+    static perf::Counter &misses =
+        perf::Registry::instance().counter("plan_cache.misses");
+    (hit ? hits : misses).add();
+    if (cache_hit != nullptr)
+        *cache_hit = hit;
+    return plan;
 }
 
 } // namespace graphr

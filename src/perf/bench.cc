@@ -1,0 +1,113 @@
+#include "bench.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "perf/counters.hh"
+
+namespace graphr::perf
+{
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    return quantileSorted(values, 0.5);
+}
+
+double
+quantileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (q <= 0.0)
+        return sorted.front();
+    if (q >= 1.0)
+        return sorted.back();
+    // Linear interpolation between closest ranks (type-7 quantile,
+    // the numpy/R default).
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double
+iqr(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    return quantileSorted(values, 0.75) - quantileSorted(values, 0.25);
+}
+
+double
+RepStats::min() const
+{
+    if (seconds.empty())
+        return 0.0;
+    return *std::min_element(seconds.begin(), seconds.end());
+}
+
+double
+RepStats::median() const
+{
+    return perf::median(seconds);
+}
+
+double
+RepStats::iqr() const
+{
+    return perf::iqr(seconds);
+}
+
+double
+RepStats::perRep(const std::string &counter) const
+{
+    const auto it = counterDeltas.find(counter);
+    if (it == counterDeltas.end() || seconds.empty())
+        return 0.0;
+    return static_cast<double>(it->second) /
+           static_cast<double>(seconds.size());
+}
+
+RepStats
+measure(const RepOptions &options, const std::function<void()> &fn)
+{
+    if (options.reps == 0)
+        throw PerfError("measure() needs at least one repetition");
+
+    for (unsigned i = 0; i < options.warmups; ++i)
+        fn();
+
+    const std::map<std::string, std::uint64_t> before =
+        Registry::instance().counterValues();
+
+    RepStats stats;
+    stats.seconds.reserve(options.reps);
+    using Clock = std::chrono::steady_clock;
+    for (unsigned i = 0; i < options.reps; ++i) {
+        const Clock::time_point t0 = Clock::now();
+        fn();
+        const Clock::time_point t1 = Clock::now();
+        stats.seconds.push_back(
+            std::chrono::duration<double>(t1 - t0).count());
+    }
+
+    const std::map<std::string, std::uint64_t> after =
+        Registry::instance().counterValues();
+    for (const auto &[name, value] : after) {
+        const auto it = before.find(name);
+        const std::uint64_t prior =
+            it == before.end() ? 0 : it->second;
+        if (value > prior)
+            stats.counterDeltas.emplace(name, value - prior);
+    }
+    return stats;
+}
+
+} // namespace graphr::perf

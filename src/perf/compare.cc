@@ -1,0 +1,153 @@
+#include "compare.hh"
+
+#include <cmath>
+
+#include "common/json.hh"
+#include "common/table.hh"
+
+namespace graphr::perf
+{
+
+namespace
+{
+
+/**
+ * Signed percent change where positive always means "worse": the
+ * direction-aware regression magnitude. A zero baseline cannot be
+ * expressed as a percentage; any nonzero movement off a zero
+ * baseline counts as +/-100% so a 0 -> N sort-count jump still
+ * trips the gate.
+ */
+double
+worsePct(const BenchMetric &baseline, double new_value)
+{
+    const double sign = baseline.better == "higher" ? -1.0 : 1.0;
+    if (baseline.value == 0.0) {
+        if (new_value == 0.0)
+            return 0.0;
+        return sign * (new_value > 0.0 ? 100.0 : -100.0);
+    }
+    return sign * 100.0 * (new_value - baseline.value) /
+           std::abs(baseline.value);
+}
+
+} // namespace
+
+CompareReport
+compareBench(const BenchReport &baseline, const BenchReport &candidate,
+             const CompareOptions &options)
+{
+    CompareReport report;
+    for (const BenchMetric &old_metric : baseline.metrics) {
+        MetricComparison cmp;
+        cmp.name = old_metric.name;
+        cmp.unit = old_metric.unit;
+        cmp.gating = old_metric.gated || options.gateAll;
+        cmp.oldValue = old_metric.value;
+
+        const BenchMetric *new_metric =
+            candidate.find(old_metric.name);
+        if (new_metric == nullptr) {
+            cmp.outcome = MetricOutcome::kMissing;
+            if (cmp.gating)
+                ++report.missing;
+            report.metrics.push_back(cmp);
+            continue;
+        }
+        cmp.newValue = new_metric->value;
+        cmp.deltaPct = worsePct(old_metric, new_metric->value);
+        if (cmp.deltaPct > options.thresholdPct) {
+            cmp.outcome = MetricOutcome::kRegressed;
+            if (cmp.gating)
+                ++report.regressed;
+        } else if (cmp.deltaPct < -options.thresholdPct) {
+            cmp.outcome = MetricOutcome::kImproved;
+            if (cmp.gating)
+                ++report.improved;
+        } else {
+            cmp.outcome = MetricOutcome::kOk;
+        }
+        report.metrics.push_back(cmp);
+    }
+
+    for (const BenchMetric &new_metric : candidate.metrics) {
+        if (baseline.find(new_metric.name) != nullptr)
+            continue;
+        MetricComparison cmp;
+        cmp.name = new_metric.name;
+        cmp.unit = new_metric.unit;
+        cmp.outcome = MetricOutcome::kNew;
+        cmp.newValue = new_metric.value;
+        report.metrics.push_back(cmp);
+    }
+    return report;
+}
+
+namespace
+{
+
+const char *
+outcomeLabel(MetricOutcome outcome, bool gating)
+{
+    switch (outcome) {
+    case MetricOutcome::kOk:
+        return "ok";
+    case MetricOutcome::kImproved:
+        return "improved";
+    case MetricOutcome::kRegressed:
+        return gating ? "REGRESSED" : "regressed*";
+    case MetricOutcome::kMissing:
+        return gating ? "MISSING" : "missing*";
+    case MetricOutcome::kNew:
+        return "new";
+    }
+    return "?";
+}
+
+std::string
+pct(double v)
+{
+    // Two decimals is plenty for a percent delta; the sign carries
+    // the direction-aware meaning (positive = worse). Negative zero
+    // (a higher-is-better no-change) would print as "+-0.00%".
+    if (v == 0.0)
+        v = 0.0;
+    return (v >= 0.0 ? "+" : "") + TextTable::num(v, 2) + "%";
+}
+
+} // namespace
+
+void
+printCompareReport(std::ostream &os, const CompareReport &report,
+                   const CompareOptions &options)
+{
+    TextTable table;
+    table.header({"metric", "old", "new", "delta", "verdict"});
+    for (const MetricComparison &m : report.metrics) {
+        const bool has_old = m.outcome != MetricOutcome::kNew;
+        const bool has_new = m.outcome != MetricOutcome::kMissing;
+        table.row(
+            {m.name,
+             has_old ? JsonWriter::formatDouble(m.oldValue) : "-",
+             has_new ? JsonWriter::formatDouble(m.newValue) : "-",
+             has_old && has_new ? pct(m.deltaPct) : "-",
+             outcomeLabel(m.outcome, m.gating)});
+    }
+    table.print(os);
+    os << "\n(threshold " << TextTable::num(options.thresholdPct, 2)
+       << "%; positive delta = worse; '*' = not gated"
+       << (options.gateAll ? "; --gate-all active" : "") << ")\n";
+    if (report.ok()) {
+        os << "gate OK";
+        if (report.improved > 0)
+            os << " (" << report.improved << " gated metric"
+               << (report.improved == 1 ? "" : "s") << " improved)";
+        os << "\n";
+    } else {
+        os << "gate FAILED: " << report.regressed
+           << " gated metric(s) regressed, " << report.missing
+           << " missing\n";
+    }
+}
+
+} // namespace graphr::perf

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The regression gate: diff two BENCH_*.json trajectory points.
+ *
+ * compareBench() walks the baseline's metrics and classifies each
+ * against the candidate: ok (within threshold), improved, regressed,
+ * or missing (present in the baseline but absent from the candidate
+ * — a gated metric silently disappearing is itself a gate failure,
+ * otherwise a rename would "fix" any regression). Candidate-only
+ * metrics are reported as new and never gate.
+ *
+ * Only gated metrics fail the gate by default (see report.hh for why
+ * host wall-clock metrics are ungated); --gate-all widens the gate
+ * to every metric for same-machine before/after comparisons.
+ */
+
+#ifndef GRAPHR_PERF_COMPARE_HH
+#define GRAPHR_PERF_COMPARE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "perf/report.hh"
+
+namespace graphr::perf
+{
+
+/** Gate policy. */
+struct CompareOptions
+{
+    /**
+     * Allowed regression, percent of the baseline value. The default
+     * leaves room for the ~1e-12 relative drift of doubles
+     * round-tripping through "%.12g" text, and for threshold
+     * tweaking via `bench compare --threshold`.
+     */
+    double thresholdPct = 10.0;
+    /** Gate every metric, not just the gated ones. */
+    bool gateAll = false;
+};
+
+enum class MetricOutcome
+{
+    kOk,        ///< within threshold of the baseline
+    kImproved,  ///< better than baseline by more than the threshold
+    kRegressed, ///< worse than baseline by more than the threshold
+    kMissing,   ///< in the baseline, absent from the candidate
+    kNew,       ///< in the candidate only (informational)
+};
+
+/** One metric's comparison. */
+struct MetricComparison
+{
+    std::string name;
+    std::string unit;
+    MetricOutcome outcome = MetricOutcome::kOk;
+    /** Whether this metric can fail the gate under the options. */
+    bool gating = false;
+    double oldValue = 0.0;
+    double newValue = 0.0;
+    /** Signed percent change, positive = worse (direction-aware). */
+    double deltaPct = 0.0;
+};
+
+/** The whole diff. */
+struct CompareReport
+{
+    std::vector<MetricComparison> metrics;
+    unsigned regressed = 0; ///< gating metrics that regressed
+    unsigned missing = 0;   ///< gating metrics absent from candidate
+    unsigned improved = 0;  ///< gating metrics that improved
+
+    /** True when nothing gated regressed or went missing. */
+    bool
+    ok() const
+    {
+        return regressed == 0 && missing == 0;
+    }
+};
+
+/** Diff @p candidate against @p baseline under @p options. */
+CompareReport compareBench(const BenchReport &baseline,
+                           const BenchReport &candidate,
+                           const CompareOptions &options = {});
+
+/** Per-metric report + verdict line (the CLI's stdout). */
+void printCompareReport(std::ostream &os, const CompareReport &report,
+                        const CompareOptions &options);
+
+} // namespace graphr::perf
+
+#endif // GRAPHR_PERF_COMPARE_HH

@@ -1,0 +1,108 @@
+#include "counters.hh"
+
+#include <cmath>
+
+namespace graphr::perf
+{
+
+std::uint64_t
+LatencyHistogram::bucketValue(std::size_t index)
+{
+    if (index < kMinor)
+        return static_cast<std::uint64_t>(index);
+    const int major =
+        static_cast<int>(index / kMinor) + kMinorBits - 1;
+    const std::uint64_t minor = index % kMinor;
+    const std::uint64_t low = (std::uint64_t{1} << major) |
+                              (minor << (major - kMinorBits));
+    return low + (std::uint64_t{1} << (major - kMinorBits)) / 2;
+}
+
+std::uint64_t
+LatencyHistogram::quantile(double q) const
+{
+    const std::uint64_t n = count();
+    if (n == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q >= 1.0)
+        return max(); // the exact recorded extreme, not a bucket mid
+    // Rank of the q-th sample, 1-based and rounded up (q=0 -> first
+    // sample; n=5, q=0.5 -> rank 3, the true median).
+    const auto rank =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+    const std::uint64_t target = rank == 0 ? 1 : rank;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i].load(std::memory_order_relaxed);
+        if (seen >= target) {
+            const std::uint64_t v = bucketValue(i);
+            // Clamp: the extreme buckets' representatives must not
+            // over/undershoot the exact recorded extremes.
+            return std::min(std::max(v, min()), max());
+        }
+    }
+    return max();
+}
+
+void
+LatencyHistogram::reset()
+{
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<std::uint64_t>::max(),
+               std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+Counter &
+Registry::counter(std::string_view name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end())
+        return it->second;
+    return counters_[std::string(name)];
+}
+
+LatencyHistogram &
+Registry::latency(std::string_view name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = latencies_.find(name);
+    if (it != latencies_.end())
+        return it->second;
+    return latencies_[std::string(name)];
+}
+
+std::map<std::string, std::uint64_t>
+Registry::counterValues() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[name, counter] : counters_)
+        out.emplace(name, counter.value());
+    return out;
+}
+
+void
+Registry::resetAll()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter.reset();
+    for (auto &[name, histogram] : latencies_)
+        histogram.reset();
+}
+
+} // namespace graphr::perf

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Process-wide performance counter registry.
+ *
+ * Hot paths across the engine (PlanCache hits/misses), the graph
+ * layer (preprocessing sorts), the store (artifact loads/saves) and
+ * the serving daemon (request latency, queue depth) publish into one
+ * registry of named counters and latency histograms. The bench
+ * harness (perf/bench.hh) snapshots the registry around timed
+ * repetitions and records the deltas in BENCH_*.json, and
+ * graphr_serve's status response reads the request-latency summary
+ * from here.
+ *
+ * Counters are monotonic relaxed atomics: publishing from a hot path
+ * costs one fetch_add, and concurrent readers only ever see a
+ * consistent (if momentarily stale) value. Registration is
+ * mutex-guarded; hot paths cache the returned reference in a
+ * function-local static so the name lookup happens once per process.
+ *
+ * Latency histograms are fixed-size log-linear bucket arrays (no
+ * allocation after construction, bounded memory for arbitrarily many
+ * samples): count/min/max/sum are exact, quantiles are approximate
+ * to one sub-bucket (~3% relative error), which is what a daemon
+ * status line or a p99 trajectory point needs.
+ */
+
+#ifndef GRAPHR_PERF_COUNTERS_HH
+#define GRAPHR_PERF_COUNTERS_HH
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace graphr::perf
+{
+
+/** One monotonic counter (relaxed atomic; see file comment). */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    /** Raise the counter to @p v if it is below (a peak gauge). */
+    void
+    recordMax(std::uint64_t v)
+    {
+        std::uint64_t cur = value_.load(std::memory_order_relaxed);
+        while (cur < v && !value_.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed))
+            ;
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Reset to zero. For tests and bench isolation only: resets
+     *  racing concurrent add()s lose no more than the racing delta. */
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/**
+ * Fixed-size log-linear latency histogram (nanosecond samples).
+ * Values below 16 get exact buckets; above that, each power of two
+ * is split into 16 linear sub-buckets, so quantiles are accurate to
+ * ~3% relative error while min/max/count/sum stay exact.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr std::size_t kMinorBits = 4;
+    static constexpr std::size_t kMinor = 1u << kMinorBits; // 16
+    /** Majors 4..63 each contribute kMinor buckets after the 16
+     *  exact small-value buckets. */
+    static constexpr std::size_t kBuckets = kMinor + 60 * kMinor;
+
+    void
+    record(std::uint64_t ns)
+    {
+        buckets_[bucketIndex(ns)].fetch_add(
+            1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(ns, std::memory_order_relaxed);
+        // Peak/floor gauges (CAS loops; contention is negligible at
+        // request granularity).
+        std::uint64_t cur = min_.load(std::memory_order_relaxed);
+        while (ns < cur && !min_.compare_exchange_weak(
+                               cur, ns, std::memory_order_relaxed))
+            ;
+        cur = max_.load(std::memory_order_relaxed);
+        while (ns > cur && !max_.compare_exchange_weak(
+                               cur, ns, std::memory_order_relaxed))
+            ;
+    }
+
+    std::uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Exact smallest recorded sample (0 when empty). */
+    std::uint64_t
+    min() const
+    {
+        const std::uint64_t v = min_.load(std::memory_order_relaxed);
+        return v == std::numeric_limits<std::uint64_t>::max() ? 0 : v;
+    }
+
+    /** Exact largest recorded sample (0 when empty). */
+    std::uint64_t
+    max() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Approximate quantile (0 < q <= 1): the representative value of
+     * the bucket holding the q-th sample, clamped to [min, max] so
+     * e.g. quantile(1.0) == max() exactly. Returns 0 when empty.
+     * Concurrent record()s make the answer approximate in time as
+     * well as in value; both are fine for telemetry.
+     */
+    std::uint64_t quantile(double q) const;
+
+    /** Reset everything. Same caveat as Counter::reset(). */
+    void reset();
+
+  private:
+    static std::size_t
+    bucketIndex(std::uint64_t v)
+    {
+        if (v < kMinor)
+            return static_cast<std::size_t>(v);
+        const int major = 63 - std::countl_zero(v); // floor(log2 v)
+        const std::size_t minor = static_cast<std::size_t>(
+            (v >> (major - kMinorBits)) & (kMinor - 1));
+        return (static_cast<std::size_t>(major) - kMinorBits + 1) *
+                   kMinor +
+               minor;
+    }
+
+    /** Lower edge + half a sub-bucket: the bucket's representative. */
+    static std::uint64_t bucketValue(std::size_t index);
+
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> min_{
+        std::numeric_limits<std::uint64_t>::max()};
+    std::atomic<std::uint64_t> max_{0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/** The process-wide registry of named counters and histograms. */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    /**
+     * The counter registered under @p name, created at zero on first
+     * use. The reference stays valid for the process lifetime; hot
+     * paths cache it (function-local static) so the mutex-guarded
+     * name lookup happens once.
+     */
+    Counter &counter(std::string_view name);
+
+    /** Same contract as counter(), for latency histograms. */
+    LatencyHistogram &latency(std::string_view name);
+
+    /** Snapshot every counter (name -> value), sorted by name. */
+    std::map<std::string, std::uint64_t> counterValues() const;
+
+    /** Reset every counter and histogram (tests / bench isolation). */
+    void resetAll();
+
+  private:
+    mutable std::mutex mutex_;
+    /** std::map: node addresses are stable across insertions. */
+    std::map<std::string, Counter, std::less<>> counters_;
+    std::map<std::string, LatencyHistogram, std::less<>> latencies_;
+};
+
+} // namespace graphr::perf
+
+#endif // GRAPHR_PERF_COUNTERS_HH

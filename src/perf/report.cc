@@ -1,0 +1,205 @@
+#include "report.hh"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/json.hh"
+#include "common/json_reader.hh"
+#include "common/table.hh"
+
+namespace graphr::perf
+{
+
+BenchEnvironment
+BenchEnvironment::current()
+{
+    BenchEnvironment env;
+#if defined(__clang__)
+    env.compiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+    env.compiler = "gcc " __VERSION__;
+#else
+    env.compiler = "unknown";
+#endif
+#ifdef NDEBUG
+    env.buildType = "release";
+#else
+    env.buildType = "debug";
+#endif
+    env.hardwareThreads = std::thread::hardware_concurrency();
+    return env;
+}
+
+const BenchMetric *
+BenchReport::find(const std::string &name) const
+{
+    for (const BenchMetric &m : metrics) {
+        if (m.name == name)
+            return &m;
+    }
+    return nullptr;
+}
+
+void
+writeBenchJson(std::ostream &os, const BenchReport &report)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "graphr-bench");
+    w.field("schema_version",
+            static_cast<std::int64_t>(BenchReport::kSchemaVersion));
+    w.field("suite", report.suite);
+
+    w.key("environment");
+    w.beginObject();
+    w.field("compiler", report.environment.compiler);
+    w.field("build_type", report.environment.buildType);
+    w.field("hardware_threads", report.environment.hardwareThreads);
+    w.endObject();
+
+    w.key("metrics");
+    w.beginArray();
+    for (const BenchMetric &m : report.metrics) {
+        w.beginObject();
+        w.field("name", m.name);
+        w.field("unit", m.unit);
+        w.field("value", m.value);
+        w.field("gated", m.gated);
+        w.field("better", m.better);
+        if (m.reps > 0) {
+            w.key("repetition");
+            w.beginObject();
+            w.field("warmups", static_cast<std::uint64_t>(m.warmups));
+            w.field("reps", static_cast<std::uint64_t>(m.reps));
+            w.field("min", m.min);
+            w.field("median", m.medianSeconds);
+            w.field("iqr", m.iqrSeconds);
+            w.key("samples");
+            w.beginArray();
+            for (const double s : m.samples)
+                w.value(s);
+            w.endArray();
+            w.endObject();
+        }
+        if (!m.counters.empty()) {
+            w.key("counters");
+            w.beginObject();
+            for (const auto &[name, value] : m.counters)
+                w.field(name, value);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+namespace
+{
+
+/** Member that must exist, with a path-y error otherwise. */
+const JsonValue &
+required(const JsonValue &object, const char *key)
+{
+    const JsonValue *v = object.find(key);
+    if (v == nullptr)
+        throw PerfError(std::string("BENCH json: missing \"") + key +
+                        "\"");
+    return *v;
+}
+
+} // namespace
+
+BenchReport
+parseBenchReport(const JsonValue &root)
+{
+    if (!root.isObject())
+        throw PerfError("BENCH json: top level must be an object");
+    const std::string &schema = required(root, "schema").asString();
+    if (schema != "graphr-bench")
+        throw PerfError("BENCH json: unknown schema \"" + schema +
+                        "\" (expected \"graphr-bench\")");
+    const std::uint64_t version =
+        required(root, "schema_version").asU64();
+    if (version != BenchReport::kSchemaVersion)
+        throw PerfError(
+            "BENCH json: schema_version " + std::to_string(version) +
+            " unsupported (this build reads version " +
+            std::to_string(BenchReport::kSchemaVersion) + ")");
+
+    BenchReport report;
+    report.suite = required(root, "suite").asString();
+
+    const JsonValue &env = required(root, "environment");
+    report.environment.compiler =
+        required(env, "compiler").asString();
+    report.environment.buildType =
+        required(env, "build_type").asString();
+    report.environment.hardwareThreads =
+        required(env, "hardware_threads").asU64();
+
+    for (const JsonValue &item : required(root, "metrics").items()) {
+        BenchMetric m;
+        m.name = required(item, "name").asString();
+        m.unit = required(item, "unit").asString();
+        m.value = required(item, "value").asDouble();
+        m.gated = required(item, "gated").asBool();
+        m.better = required(item, "better").asString();
+        if (m.better != "lower" && m.better != "higher")
+            throw PerfError("BENCH json: metric \"" + m.name +
+                            "\": better must be \"lower\" or "
+                            "\"higher\", got \"" +
+                            m.better + "\"");
+        if (const JsonValue *rep = item.find("repetition")) {
+            m.warmups = static_cast<unsigned>(
+                required(*rep, "warmups").asU64());
+            m.reps =
+                static_cast<unsigned>(required(*rep, "reps").asU64());
+            m.min = required(*rep, "min").asDouble();
+            m.medianSeconds = required(*rep, "median").asDouble();
+            m.iqrSeconds = required(*rep, "iqr").asDouble();
+            for (const JsonValue &s :
+                 required(*rep, "samples").items())
+                m.samples.push_back(s.asDouble());
+        }
+        if (const JsonValue *counters = item.find("counters")) {
+            for (const auto &[name, value] : counters->members())
+                m.counters[name] = value.asU64();
+        }
+        report.metrics.push_back(std::move(m));
+    }
+    return report;
+}
+
+BenchReport
+loadBenchFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw PerfError("cannot read BENCH file '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseBenchReport(JsonValue::parse(text.str()));
+}
+
+void
+printBenchTable(std::ostream &os, const BenchReport &report)
+{
+    TextTable table;
+    table.header(
+        {"metric", "value", "unit", "median", "iqr", "gated"});
+    for (const BenchMetric &m : report.metrics) {
+        table.row({m.name, JsonWriter::formatDouble(m.value), m.unit,
+                   m.reps > 0
+                       ? JsonWriter::formatDouble(m.medianSeconds)
+                       : "-",
+                   m.reps > 0 ? JsonWriter::formatDouble(m.iqrSeconds)
+                              : "-",
+                   m.gated ? "yes" : "no"});
+    }
+    table.print(os);
+}
+
+} // namespace graphr::perf

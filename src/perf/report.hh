@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The BENCH_*.json trajectory format: schema-versioned, diffable
+ * performance records.
+ *
+ * One BenchReport is one run of one suite. Every metric carries:
+ *  - value: the headline scalar the comparator diffs;
+ *  - gated: whether `bench compare` fails the build on regression.
+ *    Gated metrics are deterministic work/model metrics (simulated
+ *    seconds, sorts performed, cache hits, artifact bytes) that are
+ *    identical on any machine — the checked-in BENCH_0.json baseline
+ *    is compared against fresh runs on whatever hardware CI has.
+ *    Host wall-clock metrics are recorded for the trajectory but
+ *    ungated by default (compare --gate-all opts them in for
+ *    same-machine before/after checks);
+ *  - better: "lower" or "higher", the improvement direction;
+ *  - optional repetition detail (warmups/reps/min/median/iqr and the
+ *    raw per-rep samples) and the perf-counter deltas observed over
+ *    the timed window.
+ *
+ * Serialises through common/json (writer) and round-trips through
+ * common/json_reader (parser), so the trajectory files are readable
+ * by the same strict JSON stack the daemon uses.
+ */
+
+#ifndef GRAPHR_PERF_REPORT_HH
+#define GRAPHR_PERF_REPORT_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "perf/bench.hh"
+
+namespace graphr
+{
+class JsonValue;
+}
+
+namespace graphr::perf
+{
+
+/** One named trajectory point. */
+struct BenchMetric
+{
+    std::string name;
+    /** "s", "count", "bytes", ... (documentation, not semantics). */
+    std::string unit = "s";
+    /** The scalar the comparator diffs. */
+    double value = 0.0;
+    /** Whether `bench compare` gates on this metric by default. */
+    bool gated = false;
+    /** Improvement direction: "lower" or "higher". */
+    std::string better = "lower";
+
+    /** Repetition detail; present when reps > 0. */
+    unsigned warmups = 0;
+    unsigned reps = 0;
+    double min = 0.0;
+    double medianSeconds = 0.0;
+    double iqrSeconds = 0.0;
+    std::vector<double> samples;
+
+    /** Counter deltas over the timed window (may be empty). */
+    std::map<std::string, std::uint64_t> counters;
+};
+
+/** Build/host environment a report was produced under. */
+struct BenchEnvironment
+{
+    std::string compiler;
+    std::string buildType; ///< "release" or "debug" (NDEBUG)
+    std::uint64_t hardwareThreads = 0;
+
+    /** The environment of this process. */
+    static BenchEnvironment current();
+};
+
+/** One suite run: the unit BENCH_*.json stores. */
+struct BenchReport
+{
+    static constexpr int kSchemaVersion = 1;
+
+    std::string suite;
+    BenchEnvironment environment;
+    std::vector<BenchMetric> metrics;
+
+    /** Metric by exact name, or nullptr. */
+    const BenchMetric *find(const std::string &name) const;
+};
+
+/** Emit a report as a BENCH_*.json document. */
+void writeBenchJson(std::ostream &os, const BenchReport &report);
+
+/**
+ * Parse a BENCH document (the writeBenchJson shape). Throws
+ * PerfError on a wrong schema marker/version or missing fields and
+ * propagates JsonParseError on malformed JSON.
+ */
+BenchReport parseBenchReport(const JsonValue &root);
+
+/** Read and parse a BENCH file; PerfError when unreadable. */
+BenchReport loadBenchFile(const std::string &path);
+
+/** Human-readable metric table (the bench subcommand's stdout). */
+void printBenchTable(std::ostream &os, const BenchReport &report);
+
+} // namespace graphr::perf
+
+#endif // GRAPHR_PERF_REPORT_HH

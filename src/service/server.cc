@@ -6,6 +6,7 @@
 #include "common/json.hh"
 #include "driver/golden_cache.hh"
 #include "graphr/engine/plan_cache.hh"
+#include "perf/counters.hh"
 #include "store/plan_store.hh"
 
 namespace graphr::service
@@ -13,6 +14,22 @@ namespace graphr::service
 
 namespace
 {
+
+/** Cumulative admission->response latency of work requests. */
+perf::LatencyHistogram &
+requestLatency()
+{
+    static perf::LatencyHistogram &histogram =
+        perf::Registry::instance().latency("serve.request_ns");
+    return histogram;
+}
+
+/** Publish one served-request event into the perf registry. */
+void
+bump(std::string_view name)
+{
+    perf::Registry::instance().counter(name).add();
+}
 
 /** Strip surrounding whitespace (JSONL lines may end in \r). */
 std::string
@@ -82,6 +99,8 @@ void
 Server::handleLine(const std::string &line)
 {
     const ParsedLine parsed = parseRequestLine(line);
+    const std::chrono::steady_clock::time_point admitted_at =
+        std::chrono::steady_clock::now();
 
     std::unique_lock<std::mutex> lock(mutex_);
     // Backpressure: responses flush in admission order, so a slow
@@ -96,6 +115,7 @@ Server::handleLine(const std::string &line)
 
     if (!parsed.ok) {
         ++counters_.invalid;
+        bump("serve.invalid");
         respondImmediate(seq, errorResponse(parsed.request.id,
                                             parsed.error));
         return;
@@ -115,6 +135,7 @@ Server::handleLine(const std::string &line)
     // caller gets a structured rejection, never a silent drop.
     if (outstanding_ >= options_.queueDepth) {
         ++counters_.rejected;
+        bump("serve.rejected");
         respondImmediate(
             seq, errorResponse(
                      request.id,
@@ -129,6 +150,8 @@ Server::handleLine(const std::string &line)
         if (options_.store.planDir.empty()) {
             ++counters_.admitted;
             ++counters_.failed;
+            bump("serve.admitted");
+            bump("serve.failed");
             respondImmediate(
                 seq, errorResponse(request.id,
                                    "prepare needs a plan store: start "
@@ -137,18 +160,23 @@ Server::handleLine(const std::string &line)
         }
         ++counters_.admitted;
         ++outstanding_;
+        bump("serve.admitted");
+        perf::Registry::instance()
+            .counter("serve.queue_depth_peak")
+            .recordMax(outstanding_);
         driver::PrepareSpec spec = request.prepare;
         spec.store = options_.store;
         spec.jobs = 1; // request-level concurrency comes from the pool
-        pool_.submit([this, seq, id = request.id, spec] {
+        pool_.submit([this, seq, id = request.id, spec, admitted_at] {
             try {
                 finishJob(seq,
                           prepareResponse(id,
                                           driver::runPrepare(spec,
                                                              nullptr)),
-                          true);
+                          true, admitted_at);
             } catch (const std::exception &err) {
-                finishJob(seq, errorResponse(id, err.what()), false);
+                finishJob(seq, errorResponse(id, err.what()), false,
+                          admitted_at);
             }
         });
         return;
@@ -162,26 +190,42 @@ Server::handleLine(const std::string &line)
     // request answers alone without touching its neighbours.
     ++counters_.admitted;
     ++outstanding_;
+    bump("serve.admitted");
+    perf::Registry::instance()
+        .counter("serve.queue_depth_peak")
+        .recordMax(outstanding_);
     driver::SweepSpec spec = request.sweep;
     spec.store = options_.store;
     spec.jobs = 1; // request-level concurrency comes from the pool
     const char *type =
         request.type == RequestType::kRun ? "run" : "sweep";
-    pool_.submit([this, seq, id = request.id, spec, type] {
+    pool_.submit([this, seq, id = request.id, spec, type,
+                  admitted_at] {
         try {
             finishJob(seq,
                       resultsResponse(id, type,
                                       driver::runSweep(spec, nullptr)),
-                      true);
+                      true, admitted_at);
         } catch (const std::exception &err) {
-            finishJob(seq, errorResponse(id, err.what()), false);
+            finishJob(seq, errorResponse(id, err.what()), false,
+                      admitted_at);
         }
     });
 }
 
 void
-Server::finishJob(std::uint64_t seq, std::string text, bool ok)
+Server::finishJob(std::uint64_t seq, std::string text, bool ok,
+                  std::chrono::steady_clock::time_point admitted)
 {
+    // Latency is recorded outside the lock (the histogram is atomic):
+    // admission to response-ready, per answered work request.
+    const auto elapsed =
+        std::chrono::steady_clock::now() - admitted;
+    requestLatency().record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+    bump(ok ? "serve.completed" : "serve.failed");
+
     const std::lock_guard<std::mutex> lock(mutex_);
     if (ok)
         ++counters_.completed;
@@ -247,6 +291,25 @@ Server::statusTextLocked(const std::string &id) const
                 static_cast<std::uint64_t>(pool_.numThreads()));
         w.field("queue_depth",
                 static_cast<std::uint64_t>(options_.queueDepth));
+
+        // Cumulative per-request latency (work requests only; the
+        // registry is process-wide, so a process hosting several
+        // Server instances reports their union). The status barrier
+        // has drained every prior request, so count is deterministic
+        // for a single-server process; the times are
+        // wall-clock and inherently not. Median is histogram-derived
+        // (~3% bucket resolution); min/max/count are exact.
+        const perf::LatencyHistogram &latency = requestLatency();
+        w.key("latency");
+        w.beginObject();
+        w.field("count", latency.count());
+        w.field("min_ms",
+                static_cast<double>(latency.min()) / 1e6);
+        w.field("median_ms",
+                static_cast<double>(latency.quantile(0.5)) / 1e6);
+        w.field("max_ms",
+                static_cast<double>(latency.max()) / 1e6);
+        w.endObject();
 
         const PlanCache::Stats plan = PlanCache::instance().stats();
         w.key("plan_cache");

@@ -41,6 +41,7 @@
 #define GRAPHR_SERVICE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <istream>
@@ -131,8 +132,15 @@ class Server
     /** Parse, validate, admit and dispatch one request line. */
     void handleLine(const std::string &line);
 
-    /** Record a response and flush everything now in order. */
-    void finishJob(std::uint64_t seq, std::string text, bool ok);
+    /**
+     * Record a response and flush everything now in order.
+     * @p admitted is the request's admission time: the admission ->
+     * response latency is published into the perf counter registry
+     * ("serve.request_ns"), which status reports as the cumulative
+     * per-request latency summary.
+     */
+    void finishJob(std::uint64_t seq, std::string text, bool ok,
+                   std::chrono::steady_clock::time_point admitted);
     void respondImmediate(std::uint64_t seq, std::string text);
     void flushLocked();
 

@@ -13,6 +13,7 @@
 
 #include "common/checksum.hh"
 #include "common/logging.hh"
+#include "perf/counters.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define GRAPHR_STORE_HAVE_MMAP 1
@@ -571,11 +572,17 @@ PlanStore::load(std::uint64_t fingerprint,
     std::error_code ec;
     if (!fs::exists(file, ec)) {
         loadMisses_.fetch_add(1, std::memory_order_relaxed);
+        perf::Registry::instance()
+            .counter("store.load_misses")
+            .add();
         return nullptr;
     }
 
     const auto reject = [this, &file](const std::string &why) {
         loadRejects_.fetch_add(1, std::memory_order_relaxed);
+        perf::Registry::instance()
+            .counter("store.load_rejects")
+            .add();
         GRAPHR_WARN("plan store: ignoring ", file, ": ", why,
                     " — preparing afresh");
         return nullptr;
@@ -611,6 +618,7 @@ PlanStore::load(std::uint64_t fingerprint,
         std::move(parts.edges), std::move(parts.spans),
         std::move(parts.meta), h.totalNnz, h.fingerprint);
     loadHits_.fetch_add(1, std::memory_order_relaxed);
+    perf::Registry::instance().counter("store.load_hits").add();
     return plan;
 }
 
@@ -668,6 +676,7 @@ PlanStore::save(const TilePlan &plan, const TilingParams &tiling) const
                          final_path + "': " + reason);
     }
     saves_.fetch_add(1, std::memory_order_relaxed);
+    perf::Registry::instance().counter("store.saves").add();
     return final_path;
 }
 

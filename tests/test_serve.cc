@@ -21,6 +21,7 @@
 #include "driver/golden_cache.hh"
 #include "graph/preprocess.hh"
 #include "graphr/engine/plan_cache.hh"
+#include "perf/counters.hh"
 #include "service/request.hh"
 #include "service/server.hh"
 
@@ -53,6 +54,9 @@ class ServeTest : public ::testing::Test
         PlanCache::instance().setStore(nullptr);
         PlanCache::instance().clear();
         driver::clearGoldenCache();
+        // The status latency summary reads the process-wide perf
+        // registry; reset it so each test sees only its own requests.
+        perf::Registry::instance().resetAll();
     }
 };
 
@@ -240,11 +244,37 @@ TEST_F(ServeTest, WarmRepeatRequestHitsThePlanCacheAndSkipsTheSort)
     EXPECT_EQ(v.find("served")->find("completed")->asU64(), 2u);
 }
 
+TEST_F(ServeTest, StatusReportsCumulativeRequestLatencySummary)
+{
+    // Three work requests then a status barrier: the latency summary
+    // must count exactly the answered work requests (the registry was
+    // reset in SetUp) with a consistent min <= median <= max.
+    service::Server server({});
+    serveText(server,
+              R"({"id":"a","type":"run","dataset":"chain:n=64"})" "\n"
+              R"({"id":"b","type":"run","dataset":"star:n=64"})" "\n"
+              R"({"id":"bad","type":"run","dataset":"no-such"})" "\n");
+    const auto status = lines(
+        serveText(server, "{\"id\":\"q\",\"type\":\"status\"}\n"));
+    ASSERT_EQ(status.size(), 1u);
+    const JsonValue v = parsedResponse(status[0]);
+    const JsonValue *latency = v.find("latency");
+    ASSERT_NE(latency, nullptr);
+    // Failed requests are answered (and timed) too.
+    EXPECT_EQ(latency->find("count")->asU64(), 3u);
+    const double min_ms = latency->find("min_ms")->asDouble();
+    const double median_ms = latency->find("median_ms")->asDouble();
+    const double max_ms = latency->find("max_ms")->asDouble();
+    EXPECT_GE(min_ms, 0.0);
+    EXPECT_LE(min_ms, median_ms);
+    EXPECT_LE(median_ms, max_ms);
+}
+
 TEST_F(ServeTest, ConcurrentExecutionMatchesSerialByteForByte)
 {
     // Distinct datasets (deterministic cache misses), a sweep, and a
-    // trailing status barrier. Only the status "jobs" field may
-    // differ between worker counts.
+    // trailing status barrier. Only the status "jobs" and "latency"
+    // fields may differ between worker counts.
     const std::string input =
         R"({"id":"r1","type":"run","dataset":"chain:n=64"})" "\n"
         R"({"id":"r2","type":"run","dataset":"star:n=64"})" "\n"
@@ -262,11 +292,18 @@ TEST_F(ServeTest, ConcurrentExecutionMatchesSerialByteForByte)
     concurrent.jobs = 4;
     const std::string concurrent_out = serveText(input, concurrent);
 
-    const auto strip_jobs = [](const std::string &text) {
-        return std::regex_replace(text, std::regex("\"jobs\":\\d+"),
-                                  "\"jobs\":N");
+    const auto strip_variable = [](const std::string &text) {
+        // The status "jobs" field reports the actual worker count,
+        // and the "latency" summary is wall-clock; both are the only
+        // jobs-dependent bytes.
+        const std::string no_jobs = std::regex_replace(
+            text, std::regex("\"jobs\":\\d+"), "\"jobs\":N");
+        return std::regex_replace(no_jobs,
+                                  std::regex("\"latency\":\\{[^}]*\\}"),
+                                  "\"latency\":{}");
     };
-    EXPECT_EQ(strip_jobs(serial_out), strip_jobs(concurrent_out));
+    EXPECT_EQ(strip_variable(serial_out),
+              strip_variable(concurrent_out));
 
     // Sanity: every id answered, in admission order.
     const auto out = lines(serial_out);
