@@ -172,6 +172,7 @@ TileExecutor::functionalMacSweep(const MacSpec &spec,
 
     std::vector<Edge> scaled;
     std::vector<double> in_rows(config_.tiling.crossbarDim, 0.0);
+    std::vector<double> partial; // reused across tiles (hot loop)
     const std::vector<TileMeta> &tiles = plan_->meta.tiles();
     for (std::size_t t = 0; t < tiles.size(); ++t) {
         const TileMeta &meta = tiles[t];
@@ -199,8 +200,8 @@ TileExecutor::functionalMacSweep(const MacSpec &spec,
             const std::uint64_t v = meta.row0 + r;
             in_rows[r] = v < nv ? input[v] : 0.0;
         }
-        const std::vector<double> partial = ge.runMac(
-            in_rows, config_.inputFracBits, config_.weightFracBits);
+        ge.runMacInto(in_rows, config_.inputFracBits,
+                      config_.weightFracBits, partial);
         for (std::uint64_t c = 0; c < partial.size(); ++c) {
             const std::uint64_t v = meta.col0 + c;
             if (v < nv && partial[c] != 0.0)
@@ -332,6 +333,7 @@ TileExecutor::functionalAddOpSolve(const CooGraph &graph,
     for (const bool a : active)
         active_count += a ? 1 : 0;
     std::vector<Edge> rewritten_edges;
+    std::vector<double> cand; // reused across rows (hot loop)
 
     while (active_count > 0) {
         std::vector<Value> next = dist;
@@ -370,9 +372,10 @@ TileExecutor::functionalAddOpSolve(const CooGraph &graph,
             while (m != 0) {
                 const int r = std::countr_zero(m);
                 m &= m - 1;
-                const std::vector<double> cand = ge.runAddOp(
+                ge.runAddOpInto(
                     static_cast<std::uint32_t>(r),
-                    dist[meta.row0 + static_cast<std::uint64_t>(r)], 0);
+                    dist[meta.row0 + static_cast<std::uint64_t>(r)],
+                    0, cand);
                 for (std::uint64_t c = 0; c < cand.size(); ++c) {
                     const std::uint64_t v = meta.col0 + c;
                     if (v < nv && cand[c] < kInfDistance)

@@ -10,7 +10,10 @@
 #include "driver/driver.hh"
 #include "driver/golden_cache.hh"
 #include "graphr/engine/plan_cache.hh"
+#include "common/random.hh"
 #include "perf/bench.hh"
+#include "rram/crossbar.hh"
+#include "rram/simd/simd.hh"
 #include "service/server.hh"
 #include "store/plan_store.hh"
 
@@ -299,6 +302,50 @@ serveScenario(SuiteBuilder &b, const std::string &prefix,
     dropCaches();
 }
 
+/**
+ * The crossbar MVM scenario: the SIMD-dispatched exact datapath on a
+ * half-occupied crossbar. Wall-clock is the ungated trajectory (it
+ * moves with the host's best kernel tier); the gate keys on the
+ * machine-independent work metric — occupied wordlines processed per
+ * repetition, identical across scalar/SSE/AVX2 because the occupancy
+ * mask alone decides it. The active tier is recorded ungated so a
+ * trajectory reader can attribute wall-clock moves.
+ */
+void
+crossbarScenario(SuiteBuilder &b, const std::string &prefix)
+{
+    constexpr std::uint32_t kDim = 64;
+    constexpr std::uint32_t kOccupied = 32;
+    constexpr std::uint64_t kIters = 512;
+
+    DeviceParams params;
+    Crossbar cb(kDim, params);
+    Rng rng(11);
+    for (std::uint32_t r = 0; r < kOccupied; ++r) {
+        const std::uint32_t row = r * kDim / kOccupied;
+        for (std::uint32_t c = 0; c < kDim; ++c)
+            cb.programValue(
+                row, c,
+                FixedPoint::fromRaw(static_cast<FixedPoint::Raw>(
+                                        1 + rng.below(65535)),
+                                    0));
+    }
+    std::vector<FixedPoint::Raw> x(kDim);
+    for (auto &v : x)
+        v = static_cast<FixedPoint::Raw>(rng.below(65536));
+
+    const RepStats stats = b.timed(prefix + ".mvm_wall_s", [&] {
+        for (std::uint64_t i = 0; i < kIters; ++i)
+            doNotOptimize(cb.mvmRaw(x));
+    });
+    b.scalar(prefix + ".mvm_rows_per_rep",
+             stats.perRep("crossbar.mvm_rows_processed"), "count",
+             true);
+    b.scalar(prefix + ".simd_level",
+             static_cast<double>(cb.simdKernels().level), "enum",
+             false, "higher");
+}
+
 /** The pinned-seed invariant as an explicit gated trajectory point. */
 void
 fingerprintScenario(SuiteBuilder &b, const std::string &prefix,
@@ -330,6 +377,7 @@ suiteSmall(SuiteBuilder &b)
 {
     fingerprintScenario(b, "dataset.rmat_small",
                         "rmat:vertices=256,edges=2048,seed=3");
+    crossbarScenario(b, "crossbar.small");
     sweepScenario(b, "sweep.small", smallSweepSpec());
     storeScenario(b, "store.small",
                   "rmat:vertices=2048,edges=16384,seed=7");

@@ -62,10 +62,24 @@ class Cell
     readWithVariation(double sigma_levels, Rng &rng,
                       int num_levels) const
     {
-        if (sigma_levels <= 0.0 || level_ == 0)
-            return level_;
+        return perturbLevel(level_, sigma_levels, rng, num_levels);
+    }
+
+    /**
+     * The variation model on a bare level, for storage that keeps
+     * cell levels in structure-of-arrays planes rather than Cell
+     * objects (rram/crossbar.hh). Level 0 never consumes an RNG draw
+     * — the guarantee the crossbar's occupancy and SIMD fast paths
+     * rely on.
+     */
+    static std::uint8_t
+    perturbLevel(std::uint8_t level, double sigma_levels, Rng &rng,
+                 int num_levels)
+    {
+        if (sigma_levels <= 0.0 || level == 0)
+            return level;
         const double noisy =
-            static_cast<double>(level_) + rng.normal(0.0, sigma_levels);
+            static_cast<double>(level) + rng.normal(0.0, sigma_levels);
         const double clamped =
             std::max(0.0, std::min(noisy,
                                    static_cast<double>(num_levels - 1)));

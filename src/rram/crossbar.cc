@@ -1,19 +1,39 @@
 #include "crossbar.hh"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 
 #include "common/logging.hh"
+#include "perf/counters.hh"
 
 namespace graphr
 {
 
+namespace
+{
+
+/** Work metric for the bench gate: occupied wordlines an MVM reads.
+ *  Machine- and SIMD-tier-independent (the occupancy mask decides). */
+perf::Counter &
+mvmRowsCounter()
+{
+    static perf::Counter &counter = perf::Registry::instance().counter(
+        "crossbar.mvm_rows_processed");
+    return counter;
+}
+
+} // namespace
+
 Crossbar::Crossbar(std::uint32_t dim, const DeviceParams &params)
     : dim_(dim), slices_(params.slicesPerValue()),
-      cellLevels_(params.cellLevels())
+      cellLevels_(params.cellLevels()),
+      kernels_(&simd::activeKernels())
 {
     GRAPHR_ASSERT(dim_ > 0, "crossbar dimension must be > 0");
-    cells_.resize(static_cast<std::size_t>(dim_) * dim_ * slices_);
+    levelPlanes_.resize(static_cast<std::size_t>(dim_) * dim_ *
+                        slices_);
+    rawPlane_.resize(static_cast<std::size_t>(dim_) * dim_);
     rowMask_.assign((dim_ + 63) / 64, 0);
 }
 
@@ -21,11 +41,22 @@ void
 Crossbar::clear()
 {
     // Only occupied wordlines can hold nonzero cells, so zero those
-    // row spans instead of reprogramming every cell: O(occupied
-    // rows), not O(dim^2 * slices).
+    // row spans (in every slice plane and the packed raw plane)
+    // instead of reprogramming every cell: O(occupied rows), not
+    // O(dim^2 * slices).
     forEachOccupiedRow([this](std::uint32_t row) {
-        Cell *first = &cells_[static_cast<std::size_t>(row) * rowSpan()];
-        std::fill(first, first + rowSpan(), Cell{});
+        const std::size_t row_off =
+            static_cast<std::size_t>(row) * dim_;
+        for (int s = 0; s < slices_; ++s) {
+            std::uint8_t *first =
+                levelPlanes_.data() + planeOffset(s) + row_off;
+            std::fill(first, first + dim_, std::uint8_t{0});
+        }
+        std::fill(rawPlane_.begin() +
+                      static_cast<std::ptrdiff_t>(row_off),
+                  rawPlane_.begin() +
+                      static_cast<std::ptrdiff_t>(row_off + dim_),
+                  FixedPoint::Raw{0});
     });
     std::fill(rowMask_.begin(), rowMask_.end(), 0);
 }
@@ -36,30 +67,15 @@ Crossbar::programValue(std::uint32_t row, std::uint32_t col,
 {
     GRAPHR_ASSERT(row < dim_ && col < dim_, "program (", row, ",", col,
                   ") outside ", dim_, "x", dim_, " crossbar");
+    const std::size_t cell_off =
+        static_cast<std::size_t>(row) * dim_ + col;
     for (int s = 0; s < slices_; ++s)
-        cellAt(row, col, s).program(value.slice(s));
+        levelPlanes_[planeOffset(s) + cell_off] = value.slice(s);
+    rawPlane_[cell_off] = value.raw();
     // Programming zero leaves the cells at level 0; the mask only
     // needs to cover rows that may hold nonzeros.
     if (value.raw() != 0)
         rowMask_[row >> 6] |= std::uint64_t{1} << (row & 63);
-}
-
-FixedPoint::Raw
-Crossbar::storedRaw(std::uint32_t row, std::uint32_t col) const
-{
-    GRAPHR_ASSERT(row < dim_ && col < dim_, "read outside crossbar");
-    FixedPoint::Raw raw = 0;
-    for (int s = slices_ - 1; s >= 0; --s) {
-        raw = static_cast<FixedPoint::Raw>(
-            (raw << kCellBits) | cellAt(row, col, s).level());
-    }
-    return raw;
-}
-
-std::uint8_t
-Crossbar::readLevel(const Cell &cell) const
-{
-    return cell.readWithVariation(variationSigma_, rng_, cellLevels_);
 }
 
 std::vector<std::uint64_t>
@@ -77,7 +93,33 @@ Crossbar::mvmRaw(const std::vector<FixedPoint::Raw> &input_raw) const
     // loops and S/A recombination entirely.
     if (!anyRowOccupied())
         return columns;
+    mvmRowsCounter().add(maskedRowCount());
 
+    if (variationSigma_ <= 0.0) {
+        // Exact fast path: slice recombination distributes over the
+        // row sum, so the full slice-serial walk collapses to
+        // columns[c] += input[row] * raw[row][c] per occupied row —
+        // a unit-stride AXPY over the packed plane, dispatched to
+        // the active SIMD tier. Pure mod-2^64 integer arithmetic in
+        // every tier and in the slice-serial walk, hence
+        // byte-identical results; zero inputs contribute nothing and
+        // may be skipped outright.
+        const simd::Kernels &kernels = *kernels_;
+        forEachOccupiedRow([&](std::uint32_t row) {
+            const std::uint64_t in = input_raw[row];
+            if (in == 0)
+                return;
+            kernels.mvmRowAxpy(
+                rawPlane_.data() +
+                    static_cast<std::size_t>(row) * dim_,
+                dim_, in, columns.data());
+        });
+        return columns;
+    }
+
+    // Variation path: the hardware-shaped slice-serial walk, kept
+    // scalar so every cell read draws noise in the documented order
+    // (input slice, column, weight slice, ascending occupied row).
     // Outer loop: input slices applied by the driver, LSB first.
     // Inner: weight slices summed on bitlines, recombined by S/A.
     for (int in_s = 0; in_s < slices_; ++in_s) {
@@ -89,7 +131,7 @@ Crossbar::mvmRaw(const std::vector<FixedPoint::Raw> &input_raw) const
                     const std::uint64_t in_nib =
                         (input_raw[row] >> (in_s * kCellBits)) & 0xF;
                     bitline += in_nib *
-                               readLevel(cellAt(row, col, w_s));
+                               readLevel(levelAt(row, col, w_s));
                 });
                 partials[static_cast<std::size_t>(w_s)] = bitline;
             }
@@ -112,11 +154,23 @@ Crossbar::selectRow(std::uint32_t row) const
     // recombination outright.
     if (!rowMayHoldNonzero(row))
         return out;
+    if (variationSigma_ <= 0.0) {
+        // Exact read: the packed raw plane already holds the
+        // recombined wordline — one contiguous copy.
+        const std::size_t row_off =
+            static_cast<std::size_t>(row) * dim_;
+        std::copy(rawPlane_.begin() +
+                      static_cast<std::ptrdiff_t>(row_off),
+                  rawPlane_.begin() +
+                      static_cast<std::ptrdiff_t>(row_off + dim_),
+                  out.begin());
+        return out;
+    }
     for (std::uint32_t col = 0; col < dim_; ++col) {
         FixedPoint::Raw raw = 0;
         for (int s = slices_ - 1; s >= 0; --s) {
             raw = static_cast<FixedPoint::Raw>(
-                (raw << kCellBits) | readLevel(cellAt(row, col, s)));
+                (raw << kCellBits) | readLevel(levelAt(row, col, s)));
         }
         out[col] = raw;
     }
@@ -128,15 +182,16 @@ Crossbar::occupiedRows() const
 {
     // The mask is conservative (a nonzero cell may have been
     // reprogrammed to zero), so verify the cells of masked rows —
-    // unmasked rows are guaranteed empty and need no scan.
+    // unmasked rows are guaranteed empty and need no scan. The packed
+    // raw plane is consistent with the slice planes, so one uint16
+    // span check per row suffices.
     std::uint32_t count = 0;
     forEachOccupiedRow([this, &count](std::uint32_t row) {
-        const Cell *first =
-            &cells_[static_cast<std::size_t>(row) * rowSpan()];
+        const FixedPoint::Raw *first =
+            rawPlane_.data() + static_cast<std::size_t>(row) * dim_;
         const bool occupied =
-            std::any_of(first, first + rowSpan(), [](const Cell &c) {
-                return c.level() != 0;
-            });
+            std::any_of(first, first + dim_,
+                        [](FixedPoint::Raw v) { return v != 0; });
         if (occupied)
             ++count;
     });

@@ -10,11 +10,22 @@
  * unit recombines per-slice bitline sums into full-precision column
  * results. Inputs are likewise applied slice-serially by the driver.
  *
+ * Cell state is stored structure-of-arrays: one contiguous C x C
+ * plane of cell levels per slice (levelAt), plus a packed plane of
+ * the recombined 16-bit raw values (rawAt) kept consistent by
+ * programValue()/clear(). A wordline's contribution to the MVM is
+ * therefore a unit-stride uint16 span, which the exact fast path
+ * feeds to the runtime-dispatched SIMD kernels (rram/simd/simd.hh).
+ *
  * The arithmetic is integer-exact: summing slice partial products
  * with the correct shifts reproduces the full 16x16-bit multiply, so
- * the functional result equals a digital fixed-point SpMV. Optional
+ * the functional result equals a digital fixed-point SpMV — and,
+ * because that recombination distributes over rows, the exact MVM
+ * equals a plain uint16 dot product per column, which is what the
+ * SIMD kernels compute (bit-identical at every tier). Optional
  * programming variation injects the analog error the paper argues
- * graph algorithms tolerate.
+ * graph algorithms tolerate; with variation enabled the slice-serial
+ * scalar walk runs instead, preserving the RNG draw order exactly.
  */
 
 #ifndef GRAPHR_RRAM_CROSSBAR_HH
@@ -28,6 +39,7 @@
 #include "common/logging.hh"
 #include "rram/cell.hh"
 #include "rram/device_params.hh"
+#include "rram/simd/simd.hh"
 
 namespace graphr
 {
@@ -55,7 +67,13 @@ class Crossbar
                       FixedPoint value);
 
     /** Read back the exact stored raw value. */
-    FixedPoint::Raw storedRaw(std::uint32_t row, std::uint32_t col) const;
+    FixedPoint::Raw
+    storedRaw(std::uint32_t row, std::uint32_t col) const
+    {
+        GRAPHR_ASSERT(row < dim_ && col < dim_,
+                      "read outside crossbar");
+        return rawPlane_[static_cast<std::size_t>(row) * dim_ + col];
+    }
 
     /**
      * In-situ MVM: y[col] = sum_row input[row] * W[row][col], done
@@ -68,7 +86,9 @@ class Crossbar
      * are guaranteed all-zero, so the result, the variation RNG
      * stream and the modelled event counts (charged by the caller)
      * are identical to a dense scan. A fully empty crossbar skips
-     * the S/A recombination entirely.
+     * the S/A recombination entirely. With variation off the
+     * accumulation runs through the dispatched SIMD kernels over the
+     * packed raw plane — bit-identical to the slice-serial walk.
      *
      * @param input_raw one raw 16-bit input per wordline
      * @return 64-bit integer column sums (full precision)
@@ -93,6 +113,21 @@ class Crossbar
         variationSigma_ = sigma_levels;
         rng_ = Rng(seed);
     }
+
+    /**
+     * Override the MVM kernel set for this instance (tests and
+     * micro-benches comparing tiers side by side; the level must be
+     * supported by the CPU). New instances use the process-wide
+     * dispatch (simd::activeKernels(), GRAPHR_SIMD override).
+     */
+    void
+    setSimdKernels(const simd::Kernels &kernels)
+    {
+        kernels_ = &kernels;
+    }
+
+    /** Kernel set this instance accumulates with. */
+    const simd::Kernels &simdKernels() const { return *kernels_; }
 
     /** Number of wordlines that currently hold at least one nonzero. */
     std::uint32_t occupiedRows() const;
@@ -119,30 +154,28 @@ class Crossbar
     std::vector<std::uint32_t> occupiedRowIndices() const;
 
   private:
-    /** Cell holding slice s of value (row, col). */
-    const Cell &
-    cellAt(std::uint32_t row, std::uint32_t col, int slice) const
+    /** Level of the cell holding slice s of value (row, col), from
+     *  the per-slice SoA plane. */
+    std::uint8_t
+    levelAt(std::uint32_t row, std::uint32_t col, int slice) const
     {
-        return cells_[(static_cast<std::size_t>(row) * dim_ + col) *
-                          slices_ +
-                      static_cast<std::size_t>(slice)];
+        return levelPlanes_[planeOffset(slice) +
+                            static_cast<std::size_t>(row) * dim_ +
+                            col];
     }
 
-    Cell &
-    cellAt(std::uint32_t row, std::uint32_t col, int slice)
-    {
-        return cells_[(static_cast<std::size_t>(row) * dim_ + col) *
-                          slices_ +
-                      static_cast<std::size_t>(slice)];
-    }
-
-    std::uint8_t readLevel(const Cell &cell) const;
-
-    /** Cells of one wordline (all columns, all slices). */
+    /** First cell of slice @p slice's C x C plane. */
     std::size_t
-    rowSpan() const
+    planeOffset(int slice) const
     {
-        return static_cast<std::size_t>(dim_) * slices_;
+        return static_cast<std::size_t>(slice) * dim_ * dim_;
+    }
+
+    std::uint8_t
+    readLevel(std::uint8_t level) const
+    {
+        return Cell::perturbLevel(level, variationSigma_, rng_,
+                                  cellLevels_);
     }
 
     /**
@@ -175,10 +208,32 @@ class Crossbar
         return false;
     }
 
+    /** Occupied wordlines, straight off the bitmask. */
+    std::uint32_t
+    maskedRowCount() const
+    {
+        std::uint32_t count = 0;
+        for (const std::uint64_t word : rowMask_)
+            count += static_cast<std::uint32_t>(std::popcount(word));
+        return count;
+    }
+
     std::uint32_t dim_;
     int slices_;
     int cellLevels_;
-    std::vector<Cell> cells_;
+    /**
+     * SoA cell state: kSlicesPerValue contiguous C x C planes of
+     * 4-bit levels (slice-major, then row-major — a wordline's slice
+     * levels are a unit-stride span).
+     */
+    std::vector<std::uint8_t> levelPlanes_;
+    /**
+     * Packed plane of the recombined 16-bit values, row-major. Always
+     * consistent with levelPlanes_ (both are written only by
+     * programValue()/clear()); the exact MVM/selectRow fast paths and
+     * storedRaw() read it directly.
+     */
+    std::vector<FixedPoint::Raw> rawPlane_;
     /**
      * One bit per wordline, set when a nonzero value is programmed
      * into the row and reset by clear(). Conservative: reprogramming
@@ -186,6 +241,8 @@ class Crossbar
      * nonzeros" while a clear bit guarantees an all-zero row.
      */
     std::vector<std::uint64_t> rowMask_;
+    /** Active MVM kernel tier (process dispatch unless overridden). */
+    const simd::Kernels *kernels_;
     double variationSigma_ = 0.0;
     mutable Rng rng_{0};
 };

@@ -111,10 +111,21 @@ std::vector<double>
 GraphEngineArray::runMac(const std::vector<double> &input,
                          int input_frac_bits, int weight_frac_bits)
 {
+    std::vector<double> out;
+    runMacInto(input, input_frac_bits, weight_frac_bits, out);
+    return out;
+}
+
+void
+GraphEngineArray::runMacInto(const std::vector<double> &input,
+                             int input_frac_bits, int weight_frac_bits,
+                             std::vector<double> &out)
+{
     GRAPHR_ASSERT(input.size() == crossbarDim_, "input length ",
                   input.size(), " != C ", crossbarDim_);
 
-    std::vector<FixedPoint::Raw> raw_in(crossbarDim_);
+    rawInScratch_.resize(crossbarDim_);
+    std::vector<FixedPoint::Raw> &raw_in = rawInScratch_;
     for (std::uint32_t r = 0; r < crossbarDim_; ++r)
         raw_in[r] = FixedPoint::quantize(input[r], input_frac_bits).raw();
 
@@ -122,7 +133,7 @@ GraphEngineArray::runMac(const std::vector<double> &input,
         static_cast<double>(1u << input_frac_bits) *
         static_cast<double>(1u << weight_frac_bits);
 
-    std::vector<double> out(tileWidth(), 0.0);
+    out.assign(tileWidth(), 0.0);
     std::uint64_t reads = 0;
     std::uint64_t samples = 0;
     for (std::size_t cb = 0; cb < crossbars_.size(); ++cb) {
@@ -148,16 +159,25 @@ GraphEngineArray::runMac(const std::vector<double> &input,
     ledger_.events().adcSamples += samples;
     ledger_.events().sampleHolds += samples;
     ledger_.events().shiftAdds += tileWidth();
-    return out;
 }
 
 std::vector<double>
 GraphEngineArray::runAddOp(std::uint32_t row, double dist_u,
                            int weight_frac_bits)
 {
+    std::vector<double> out;
+    runAddOpInto(row, dist_u, weight_frac_bits, out);
+    return out;
+}
+
+void
+GraphEngineArray::runAddOpInto(std::uint32_t row, double dist_u,
+                               int weight_frac_bits,
+                               std::vector<double> &out)
+{
     GRAPHR_ASSERT(row < crossbarDim_, "row ", row, " outside tile");
 
-    std::vector<double> out(tileWidth(), kInfDistance);
+    out.assign(tileWidth(), kInfDistance);
     const double w_scale = static_cast<double>(1u << weight_frac_bits);
 
     std::uint64_t reads = 0;
@@ -188,7 +208,6 @@ GraphEngineArray::runAddOp(std::uint32_t row, double dist_u,
     ledger_.events().adcSamples += samples;
     ledger_.events().sampleHolds += samples;
     ledger_.events().shiftAdds += tileWidth();
-    return out;
 }
 
 TileSnapshot

@@ -61,6 +61,12 @@ struct TileActivity
  * programTile() and replaying the snapshot on later visits.
  * loadTile() charges no write events — switching the evaluation
  * target between already-programmed banks is not a reprogram.
+ *
+ * The snapshot stores logical (row, col, raw) triples, independent of
+ * the crossbar's internal layout: loadTile() re-packs them through
+ * programValue(), which rebuilds the SoA slice planes, the packed raw
+ * plane and the row-occupancy mask consistently. Snapshots taken
+ * before the SoA refactor therefore replay identically.
  */
 struct TileSnapshot
 {
@@ -128,6 +134,16 @@ class GraphEngineArray
                                int input_frac_bits, int weight_frac_bits);
 
     /**
+     * runMac() into a caller-owned buffer (resized to tileWidth()):
+     * the tile walks call this once per tile, so reusing one buffer
+     * avoids a tileWidth-sized allocation per tile. Identical
+     * results and event accounting to runMac().
+     */
+    void runMacInto(const std::vector<double> &input,
+                    int input_frac_bits, int weight_frac_bits,
+                    std::vector<double> &out);
+
+    /**
      * Parallel add-op for one active source row (paper section 4.2,
      * Fig. 16(c)): returns dist_u + W[row][col] for every column that
      * holds an edge, and +infinity for absent columns.
@@ -138,6 +154,10 @@ class GraphEngineArray
      */
     std::vector<double> runAddOp(std::uint32_t row, double dist_u,
                                  int weight_frac_bits);
+
+    /** runAddOp() into a caller-owned buffer; see runMacInto(). */
+    void runAddOpInto(std::uint32_t row, double dist_u,
+                      int weight_frac_bits, std::vector<double> &out);
 
     /** Mask of columns holding a nonzero in the given row. */
     std::vector<bool> rowMask(std::uint32_t row) const;
@@ -175,6 +195,8 @@ class GraphEngineArray
      * tiles — while event accounting still covers the full array.
      */
     std::vector<std::uint32_t> crossbarNnz_;
+    /** Scratch input-quantisation buffer reused by runMacInto(). */
+    std::vector<FixedPoint::Raw> rawInScratch_;
     Salu salu_{SaluOp::kAdd};
 
     bool presentAt(std::uint32_t row, std::uint64_t col) const;

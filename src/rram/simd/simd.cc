@@ -1,0 +1,151 @@
+#include "simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace graphr::simd
+{
+
+namespace
+{
+
+constexpr Kernels kScalarKernels{&detail::scalarMvmRowAxpy,
+                                 Level::kScalar, "scalar"};
+#if GRAPHR_SIMD_X86
+constexpr Kernels kSseKernels{&detail::sseMvmRowAxpy, Level::kSse,
+                              "sse"};
+constexpr Kernels kAvx2Kernels{&detail::avx2MvmRowAxpy, Level::kAvx2,
+                               "avx2"};
+#endif
+
+/**
+ * The resolved dispatch singleton. Null until the first
+ * activeKernels() call; concurrent first calls resolve independently
+ * (getenv + cpuid are stable) and CAS-publish the same table, so the
+ * race is benign and TSan-clean.
+ */
+std::atomic<const Kernels *> g_active{nullptr};
+
+} // namespace
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+    case Level::kScalar:
+        return "scalar";
+    case Level::kSse:
+        return "sse";
+    case Level::kAvx2:
+        return "avx2";
+    }
+    return "?";
+}
+
+std::optional<Level>
+parseLevelName(std::string_view name)
+{
+    if (name == "scalar")
+        return Level::kScalar;
+    if (name == "sse" || name == "sse2" || name == "sse4.1")
+        return Level::kSse;
+    if (name == "avx2")
+        return Level::kAvx2;
+    return std::nullopt;
+}
+
+bool
+levelSupported(Level level)
+{
+    if (level == Level::kScalar)
+        return true;
+#if GRAPHR_SIMD_X86
+    if (level == Level::kSse)
+        return __builtin_cpu_supports("sse4.1") != 0;
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+Level
+bestSupportedLevel()
+{
+    if (levelSupported(Level::kAvx2))
+        return Level::kAvx2;
+    if (levelSupported(Level::kSse))
+        return Level::kSse;
+    return Level::kScalar;
+}
+
+const Kernels &
+kernelsFor(Level level)
+{
+#if GRAPHR_SIMD_X86
+    if (level == Level::kAvx2)
+        return kAvx2Kernels;
+    if (level == Level::kSse)
+        return kSseKernels;
+#else
+    (void)level;
+#endif
+    return kScalarKernels;
+}
+
+Level
+detail::resolveLevel(const char *env_value, Level best)
+{
+    if (env_value == nullptr || *env_value == '\0')
+        return best;
+    const std::string_view value(env_value);
+    if (value == "auto")
+        return best;
+    const std::optional<Level> requested = parseLevelName(value);
+    if (!requested.has_value()) {
+        GRAPHR_WARN("GRAPHR_SIMD='", std::string(value),
+                    "' is not scalar|sse|avx2|auto; using ",
+                    levelName(best));
+        return best;
+    }
+    if (*requested > best) {
+        GRAPHR_WARN("GRAPHR_SIMD=", levelName(*requested),
+                    " not supported by this CPU; falling back to ",
+                    levelName(best));
+        return best;
+    }
+    return *requested;
+}
+
+const Kernels &
+activeKernels()
+{
+    const Kernels *active = g_active.load(std::memory_order_acquire);
+    if (active == nullptr) {
+        const Level level = detail::resolveLevel(
+            std::getenv("GRAPHR_SIMD"), bestSupportedLevel());
+        const Kernels *resolved = &kernelsFor(level);
+        const Kernels *expected = nullptr;
+        g_active.compare_exchange_strong(expected, resolved,
+                                         std::memory_order_acq_rel);
+        active = g_active.load(std::memory_order_acquire);
+    }
+    return *active;
+}
+
+Level
+activeLevel()
+{
+    return activeKernels().level;
+}
+
+void
+setActiveLevelForTest(Level level)
+{
+    GRAPHR_ASSERT(levelSupported(level), "cannot force unsupported ",
+                  levelName(level), " kernels");
+    g_active.store(&kernelsFor(level), std::memory_order_release);
+}
+
+} // namespace graphr::simd

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * AVX2 tier of the crossbar MVM AXPY kernel. Compiled with -mavx2 on
+ * x86 only; see simd_sse.cc for the isolation rationale.
+ *
+ * One step covers 8 columns: VPMOVZXWQ widens u16 column values to
+ * u64 lanes, VPMULUDQ multiplies by the broadcast input (both
+ * operands < 2^16, so the 32x32->64 multiply is exact) and VPADDQ
+ * accumulates. Unaligned loads/stores only.
+ */
+
+#include "simd.hh"
+
+#if GRAPHR_SIMD_X86
+
+#include <immintrin.h>
+
+namespace graphr::simd::detail
+{
+
+void
+avx2MvmRowAxpy(const std::uint16_t *row, std::size_t n,
+               std::uint64_t in, std::uint64_t *acc)
+{
+    const __m256i vin =
+        _mm256_set1_epi64x(static_cast<long long>(in));
+    std::size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        const __m128i v16 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(row + c));
+        const __m256i w03 = _mm256_cvtepu16_epi64(v16);
+        const __m256i w47 =
+            _mm256_cvtepu16_epi64(_mm_srli_si128(v16, 8));
+        __m256i a03 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(acc + c));
+        __m256i a47 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(acc + c + 4));
+        a03 = _mm256_add_epi64(a03, _mm256_mul_epu32(w03, vin));
+        a47 = _mm256_add_epi64(a47, _mm256_mul_epu32(w47, vin));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + c),
+                            a03);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + c + 4),
+                            a47);
+    }
+    for (; c < n; ++c)
+        acc[c] += in * row[c];
+}
+
+} // namespace graphr::simd::detail
+
+#endif // GRAPHR_SIMD_X86

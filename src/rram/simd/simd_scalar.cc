@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Portable scalar fallback for the crossbar MVM AXPY kernel. Always
+ * compiled; the reference every SIMD tier must match bit-for-bit.
+ */
+
+#include "simd.hh"
+
+namespace graphr::simd::detail
+{
+
+void
+scalarMvmRowAxpy(const std::uint16_t *row, std::size_t n,
+                 std::uint64_t in, std::uint64_t *acc)
+{
+    for (std::size_t c = 0; c < n; ++c)
+        acc[c] += in * row[c];
+}
+
+} // namespace graphr::simd::detail

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SSE4.1 tier of the crossbar MVM AXPY kernel. This translation unit
+ * is compiled with -msse4.1 (CMake sets the flag on x86 only); the
+ * rest of the build never sees SSE4.1 code, so the binary still runs
+ * on older CPUs as long as dispatch keeps this tier unselected.
+ *
+ * Layout of one step (4 columns): widen four u16 column values to
+ * u64 lanes with PMOVZX, multiply by the broadcast input with PMULUDQ
+ * (the low-32 x low-32 -> 64 multiply; both operands fit in 16 bits,
+ * so the product is exact), and add into the u64 accumulators.
+ * Unaligned loads/stores throughout — callers pass arbitrary row
+ * offsets into the SoA plane.
+ */
+
+#include "simd.hh"
+
+#if GRAPHR_SIMD_X86
+
+#include <immintrin.h>
+
+namespace graphr::simd::detail
+{
+
+void
+sseMvmRowAxpy(const std::uint16_t *row, std::size_t n,
+              std::uint64_t in, std::uint64_t *acc)
+{
+    const __m128i vin =
+        _mm_set1_epi64x(static_cast<long long>(in));
+    std::size_t c = 0;
+    for (; c + 4 <= n; c += 4) {
+        // 4 u16 column values -> two vectors of 2 u64 lanes each.
+        const __m128i v16 = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(row + c));
+        const __m128i w01 = _mm_cvtepu16_epi64(v16);
+        const __m128i w23 =
+            _mm_cvtepu16_epi64(_mm_srli_si128(v16, 4));
+        __m128i a01 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(acc + c));
+        __m128i a23 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(acc + c + 2));
+        a01 = _mm_add_epi64(a01, _mm_mul_epu32(w01, vin));
+        a23 = _mm_add_epi64(a23, _mm_mul_epu32(w23, vin));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(acc + c), a01);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(acc + c + 2),
+                         a23);
+    }
+    for (; c < n; ++c)
+        acc[c] += in * row[c];
+}
+
+} // namespace graphr::simd::detail
+
+#endif // GRAPHR_SIMD_X86

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Bit-exactness and dispatch-policy tests for the SIMD crossbar MVM
+ * datapath (rram/simd/). The contract under test: every kernel tier
+ * (scalar, SSE, AVX2) computes identical mod-2^64 results for any
+ * input, so swapping tiers can never change a simulation output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "rram/crossbar.hh"
+#include "rram/device_params.hh"
+#include "rram/simd/simd.hh"
+
+namespace graphr
+{
+namespace
+{
+
+std::vector<simd::Level>
+supportedLevels()
+{
+    std::vector<simd::Level> levels;
+    for (const simd::Level level :
+         {simd::Level::kScalar, simd::Level::kSse,
+          simd::Level::kAvx2}) {
+        if (simd::levelSupported(level))
+            levels.push_back(level);
+    }
+    return levels;
+}
+
+// ------------------------------------------------------------ kernels
+
+TEST(SimdKernelTest, AxpyAgreesAcrossTiersAtAllWidths)
+{
+    // Every width from 1 to 100 covers all vector-tail combinations
+    // (AVX2 strides 8 columns, SSE 4, plus scalar remainders).
+    Rng rng(42);
+    for (std::size_t n = 1; n <= 100; ++n) {
+        std::vector<std::uint16_t> row(n);
+        for (auto &v : row)
+            v = static_cast<std::uint16_t>(rng.below(65536));
+        const std::uint64_t in = rng.below(65536);
+        std::vector<std::uint64_t> base(n);
+        for (auto &v : base)
+            v = rng.next();
+
+        std::vector<std::uint64_t> reference;
+        for (const simd::Level level : supportedLevels()) {
+            std::vector<std::uint64_t> acc = base;
+            simd::kernelsFor(level).mvmRowAxpy(row.data(), n,
+                                               in, acc.data());
+            if (reference.empty())
+                reference = acc;
+            else
+                EXPECT_EQ(acc, reference)
+                    << "tier " << simd::levelName(level)
+                    << " diverges at width " << n;
+        }
+        // The scalar tier is the executable spec: check it against a
+        // direct reimplementation once per width.
+        std::vector<std::uint64_t> expect = base;
+        for (std::size_t c = 0; c < n; ++c)
+            expect[c] += in * row[c];
+        EXPECT_EQ(reference, expect) << "width " << n;
+    }
+}
+
+TEST(SimdKernelTest, AxpyMaxValuesDoNotOverflowLanes)
+{
+    // 0xFFFF * 0xFFFF accumulated many times stays well inside 64
+    // bits; the kernels must not saturate or wrap 32-bit lanes.
+    const std::size_t n = 17;
+    std::vector<std::uint16_t> row(n, 0xFFFF);
+    for (const simd::Level level : supportedLevels()) {
+        std::vector<std::uint64_t> acc(n, 0);
+        for (int rep = 0; rep < 1000; ++rep)
+            simd::kernelsFor(level).mvmRowAxpy(row.data(), n,
+                                               0xFFFF, acc.data());
+        for (const std::uint64_t v : acc)
+            EXPECT_EQ(v, 1000ull * 0xFFFFull * 0xFFFFull)
+                << simd::levelName(level);
+    }
+}
+
+// ----------------------------------------------------------- dispatch
+
+TEST(SimdDispatchTest, LevelNamesRoundTrip)
+{
+    for (const simd::Level level :
+         {simd::Level::kScalar, simd::Level::kSse,
+          simd::Level::kAvx2}) {
+        const auto parsed = simd::parseLevelName(simd::levelName(level));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, level);
+    }
+    EXPECT_FALSE(simd::parseLevelName("auto").has_value());
+    EXPECT_FALSE(simd::parseLevelName("").has_value());
+    EXPECT_FALSE(simd::parseLevelName("avx512").has_value());
+}
+
+TEST(SimdDispatchTest, ResolvePolicy)
+{
+    using simd::Level;
+    using simd::detail::resolveLevel;
+    // No override: the best supported tier wins.
+    EXPECT_EQ(resolveLevel(nullptr, Level::kAvx2), Level::kAvx2);
+    EXPECT_EQ(resolveLevel("", Level::kSse), Level::kSse);
+    EXPECT_EQ(resolveLevel("auto", Level::kAvx2), Level::kAvx2);
+    // Explicit lower tiers are honoured.
+    EXPECT_EQ(resolveLevel("scalar", Level::kAvx2), Level::kScalar);
+    EXPECT_EQ(resolveLevel("sse", Level::kAvx2), Level::kSse);
+    // Requests above the host's best tier fall back to the best.
+    EXPECT_EQ(resolveLevel("avx2", Level::kSse), Level::kSse);
+    EXPECT_EQ(resolveLevel("avx2", Level::kScalar), Level::kScalar);
+    // Unknown names fall back to the best.
+    EXPECT_EQ(resolveLevel("turbo9000", Level::kAvx2), Level::kAvx2);
+}
+
+TEST(SimdDispatchTest, ActiveLevelIsSupported)
+{
+    EXPECT_TRUE(simd::levelSupported(simd::activeLevel()));
+    EXPECT_EQ(simd::activeKernels().level, simd::activeLevel());
+    EXPECT_TRUE(simd::levelSupported(simd::bestSupportedLevel()));
+}
+
+TEST(SimdDispatchTest, KernelsForScalarAlwaysAvailable)
+{
+    const simd::Kernels &k = simd::kernelsFor(simd::Level::kScalar);
+    EXPECT_EQ(k.level, simd::Level::kScalar);
+    ASSERT_NE(k.mvmRowAxpy, nullptr);
+}
+
+// ----------------------------------------------------- crossbar paths
+
+/** Program a pseudo-random crossbar; occupied < dim leaves gaps. */
+Crossbar
+makeCrossbar(std::uint32_t dim, std::uint32_t occupied,
+             std::uint64_t seed)
+{
+    DeviceParams params;
+    Crossbar cb(dim, params);
+    Rng rng(seed);
+    for (std::uint32_t r = 0; r < occupied; ++r) {
+        const std::uint32_t row =
+            occupied == dim ? r : r * dim / std::max(occupied, 1u);
+        for (std::uint32_t c = 0; c < dim; ++c) {
+            // Sprinkle zeros so sparse columns exist inside occupied
+            // rows too.
+            const auto raw = static_cast<FixedPoint::Raw>(
+                rng.below(4) == 0 ? 0 : rng.below(65536));
+            cb.programValue(row, c, FixedPoint::fromRaw(raw, 0));
+        }
+    }
+    return cb;
+}
+
+TEST(CrossbarSimdTest, MvmIdenticalAcrossTiers)
+{
+    // Dims straddle every vector width boundary: smaller than one
+    // SSE/AVX2 vector, non-multiples, exact multiples, and the
+    // paper-scale 64.
+    for (const std::uint32_t dim :
+         {1u, 2u, 3u, 5u, 8u, 13u, 16u, 31u, 32u, 33u, 48u, 63u,
+          64u}) {
+        for (const bool sparse : {false, true}) {
+            const std::uint32_t occupied =
+                sparse ? std::max(1u, dim / 4) : dim;
+            Rng rng(dim * 2 + sparse);
+            std::vector<FixedPoint::Raw> x(dim);
+            for (auto &v : x)
+                v = static_cast<FixedPoint::Raw>(rng.below(65536));
+
+            std::vector<std::uint64_t> reference;
+            for (const simd::Level level : supportedLevels()) {
+                Crossbar cb = makeCrossbar(dim, occupied, 7 + dim);
+                cb.setSimdKernels(simd::kernelsFor(level));
+                const std::vector<std::uint64_t> got = cb.mvmRaw(x);
+                if (reference.empty())
+                    reference = got;
+                else
+                    EXPECT_EQ(got, reference)
+                        << "tier " << simd::levelName(level)
+                        << " dim " << dim << " sparse " << sparse;
+            }
+        }
+    }
+}
+
+TEST(CrossbarSimdTest, MvmMatchesDigitalReference)
+{
+    // The dispatched path must still equal the digital fixed-point
+    // SpMV: y[c] = sum_r x[r] * W[r][c] in plain 64-bit integers.
+    const std::uint32_t dim = 33;
+    Crossbar cb = makeCrossbar(dim, dim, 3);
+    Rng rng(5);
+    std::vector<FixedPoint::Raw> x(dim);
+    for (auto &v : x)
+        v = static_cast<FixedPoint::Raw>(rng.below(65536));
+    const std::vector<std::uint64_t> got = cb.mvmRaw(x);
+    for (std::uint32_t c = 0; c < dim; ++c) {
+        std::uint64_t expect = 0;
+        for (std::uint32_t r = 0; r < dim; ++r)
+            expect += static_cast<std::uint64_t>(x[r]) *
+                      cb.storedRaw(r, c);
+        EXPECT_EQ(got[c], expect) << "col " << c;
+    }
+}
+
+TEST(CrossbarSimdTest, SelectRowIdenticalAcrossTiers)
+{
+    for (const std::uint32_t dim : {1u, 7u, 32u, 63u}) {
+        std::vector<FixedPoint::Raw> reference;
+        for (const simd::Level level : supportedLevels()) {
+            Crossbar cb = makeCrossbar(dim, dim, 11);
+            cb.setSimdKernels(simd::kernelsFor(level));
+            const std::vector<FixedPoint::Raw> got =
+                cb.selectRow(dim / 2);
+            if (reference.empty())
+                reference = got;
+            else
+                EXPECT_EQ(got, reference)
+                    << simd::levelName(level) << " dim " << dim;
+        }
+    }
+}
+
+TEST(CrossbarSimdTest, VariationPathUnaffectedByKernelTier)
+{
+    // With variation on, the scalar slice-serial walk runs whatever
+    // kernel set is installed: identical noise stream, identical
+    // outputs — swapping tiers must not perturb the RNG order.
+    const std::uint32_t dim = 16;
+    Rng rng(9);
+    std::vector<FixedPoint::Raw> x(dim);
+    for (auto &v : x)
+        v = static_cast<FixedPoint::Raw>(rng.below(65536));
+
+    std::vector<std::uint64_t> reference;
+    for (const simd::Level level : supportedLevels()) {
+        Crossbar cb = makeCrossbar(dim, dim, 13);
+        cb.setSimdKernels(simd::kernelsFor(level));
+        cb.setVariation(1.5, 77);
+        std::vector<std::uint64_t> out = cb.mvmRaw(x);
+        // Two back-to-back MVMs consume RNG draws in sequence; both
+        // must match across tiers.
+        const std::vector<std::uint64_t> out2 = cb.mvmRaw(x);
+        out.insert(out.end(), out2.begin(), out2.end());
+        if (reference.empty())
+            reference = out;
+        else
+            EXPECT_EQ(out, reference) << simd::levelName(level);
+    }
+}
+
+TEST(CrossbarSimdTest, EmptyCrossbarFastAndZero)
+{
+    DeviceParams params;
+    for (const simd::Level level : supportedLevels()) {
+        Crossbar cb(8, params);
+        cb.setSimdKernels(simd::kernelsFor(level));
+        const std::vector<FixedPoint::Raw> x(8, 0xFFFF);
+        const std::vector<std::uint64_t> out = cb.mvmRaw(x);
+        EXPECT_EQ(out, std::vector<std::uint64_t>(8, 0));
+    }
+}
+
+} // namespace
+} // namespace graphr
