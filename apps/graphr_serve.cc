@@ -34,6 +34,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/failpoint.hh"
 #include "driver/params.hh"
 #include "service/fd_stream.hh"
 #include "service/server.hh"
@@ -87,6 +88,7 @@ struct ServeCliOptions
     /** TCP port to listen on (loopback); negative = stdin mode. */
     int port = -1;
     bool help = false;
+    bool listFailpoints = false;
 };
 
 std::string
@@ -106,8 +108,21 @@ usageText()
            "                      (default 1; 0 = hardware threads)\n"
            "  --queue-depth n     max outstanding requests before\n"
            "                      admission rejects (default 256)\n"
+           "  --request-timeout-ms n\n"
+           "                      per-request deadline; a request\n"
+           "                      that misses it is answered with a\n"
+           "                      structured timeout error (default\n"
+           "                      0 = none)\n"
+           "  --max-line-bytes n  longest accepted request line;\n"
+           "                      longer lines get a structured\n"
+           "                      error (default 1048576; 0 = no\n"
+           "                      limit)\n"
            "  --plan-dir path     durable plan store shared by every\n"
            "                      request (see docs/CLI.md)\n"
+           "  --list-failpoints   print the registered fault-\n"
+           "                      injection site names (one per\n"
+           "                      line, for GRAPHR_FAILPOINTS) and\n"
+           "                      exit\n"
            "  --help              this text\n"
            "\n"
            "requests (one JSON object per line; full grammar in\n"
@@ -156,6 +171,14 @@ parseServeCli(const std::vector<std::string> &args)
         } else if (arg == "--queue-depth") {
             opts.server.queueDepth =
                 parseU32(arg, next(i, arg), 1u << 20);
+        } else if (arg == "--request-timeout-ms") {
+            opts.server.requestTimeoutMs =
+                parseU32(arg, next(i, arg), 86400000u);
+        } else if (arg == "--max-line-bytes") {
+            opts.server.maxLineBytes =
+                parseU32(arg, next(i, arg), 1u << 30);
+        } else if (arg == "--list-failpoints") {
+            opts.listFailpoints = true;
         } else if (arg == "--plan-dir") {
             opts.server.store.planDir = next(i, arg);
             if (opts.server.store.planDir.empty())
@@ -243,6 +266,15 @@ main(int argc, char **argv)
             std::vector<std::string>(argv + 1, argv + argc));
         if (opts.help) {
             std::cout << usageText();
+            return 0;
+        }
+        if (opts.listFailpoints) {
+            // Machine-readable worklist for tests/chaos.sh: the
+            // sweep enumerates sites from the binary under test, so
+            // a new site cannot be forgotten by the suite.
+            for (const std::string_view site :
+                 failpoint::knownSites())
+                std::cout << site << "\n";
             return 0;
         }
 

@@ -1,6 +1,9 @@
 #include "thread_pool.hh"
 
+#include <chrono>
 #include <utility>
+
+#include "common/failpoint.hh"
 
 namespace graphr
 {
@@ -57,6 +60,14 @@ ThreadPool::workerLoop()
                 return; // stopping_ and drained
             task = std::move(queue_.front());
             queue_.pop_front();
+        }
+        // Injectable stall (pool.task.slow, `=ms` payload): models a
+        // slow request without touching any workload code — the
+        // deterministic trigger for the server's request deadline.
+        std::uint64_t stall_ms = 50;
+        if (GRAPHR_FAILPOINT_ARG("pool.task.slow", &stall_ms)) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(stall_ms));
         }
         task();
         {

@@ -1,7 +1,9 @@
 #include "plan_cache.hh"
 
+#include <stdexcept>
 #include <utility>
 
+#include "common/failpoint.hh"
 #include "common/logging.hh"
 #include "perf/counters.hh"
 #include "store/plan_store.hh"
@@ -56,6 +58,13 @@ PlanCache::get(const CooGraph &graph, const TilingParams &tiling,
     TilePlanPtr plan = cache_.getOrBuild(
         key,
         [&graph, &tiling, fingerprint, &store] {
+            // Injectable build failure: exercises LruCache's failed-
+            // build contract (the exception reaches every waiter, the
+            // slot is dropped, the next get() retries the build).
+            if (GRAPHR_FAILPOINT("cache.build.fail")) {
+                throw std::runtime_error(
+                    "injected failure: failpoint cache.build.fail");
+            }
             if (store != nullptr) {
                 if (TilePlanPtr loaded = store->load(fingerprint, tiling))
                     return loaded;

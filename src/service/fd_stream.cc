@@ -4,11 +4,24 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include "common/failpoint.hh"
+#include "perf/counters.hh"
+
 namespace graphr::service
 {
 
 namespace
 {
+
+/** One transparently retried transient fault (EINTR/EAGAIN/short
+ *  transfer) on the serve fd paths. */
+void
+noteServeRetry()
+{
+    static perf::Counter &retries =
+        perf::Registry::instance().counter("serve.retries");
+    retries.add();
+}
 
 /**
  * The one poll loop both directions share. A signal can land between
@@ -65,6 +78,15 @@ FdInBuf::underflow()
     for (;;) {
         if (!waitReadable(fd_, stop_))
             return traits_type::eof();
+        // A permanent read error (injectable: serve.read.eio) ends
+        // the session as a clean EOF — the server drains and the
+        // daemon survives to accept the next connection.
+        if (GRAPHR_FAILPOINT("serve.read.eio"))
+            return traits_type::eof();
+        if (GRAPHR_FAILPOINT("serve.read.eintr")) {
+            noteServeRetry();
+            continue; // as if a signal interrupted the read
+        }
         const ssize_t n = ::read(fd_, buffer_.data(), buffer_.size());
         if (n > 0) {
             setg(buffer_.data(), buffer_.data(), buffer_.data() + n);
@@ -72,8 +94,10 @@ FdInBuf::underflow()
         }
         if (n == 0)
             return traits_type::eof();
-        if (errno == EINTR)
+        if (errno == EINTR || errno == EAGAIN) {
+            noteServeRetry();
             continue; // the next iteration re-checks the stop flag
+        }
         return traits_type::eof();
     }
 }
@@ -94,15 +118,27 @@ FdOutBuf::writeAll(const char *data, std::streamsize n)
     while (n > 0) {
         if (!waitWritable(fd_, stop_))
             return false;
+        // A permanent write error (injectable: serve.write.eio)
+        // fails the stream; the server abandons this client's
+        // remaining responses but the daemon itself stays up.
+        if (GRAPHR_FAILPOINT("serve.write.eio"))
+            return false;
+        std::streamsize len = n;
+        if (len > 1 && GRAPHR_FAILPOINT("serve.write.short")) {
+            len = 1; // deterministic short write; the loop resumes
+            noteServeRetry();
+        }
         const ssize_t written =
-            ::write(fd_, data, static_cast<std::size_t>(n));
+            ::write(fd_, data, static_cast<std::size_t>(len));
         if (written > 0) {
             data += written;
             n -= written;
             continue;
         }
-        if (written < 0 && errno == EINTR)
+        if (written < 0 && (errno == EINTR || errno == EAGAIN)) {
+            noteServeRetry();
             continue;
+        }
         return false;
     }
     return true;

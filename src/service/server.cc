@@ -47,6 +47,45 @@ trimmed(const std::string &line)
     return line.substr(first, last - first);
 }
 
+/**
+ * std::getline with a byte cap. Returns false only at immediate EOF
+ * (no line at all). @p complete reports whether the terminating
+ * newline was seen — false means the stream ended (or was stopped)
+ * mid-line. A line longer than @p cap (0 = unlimited) sets
+ * @p oversized: the excess bytes are consumed and discarded, so
+ * memory stays bounded at cap and the stream is positioned at the
+ * next line, but @p line is then truncated garbage, not a request.
+ */
+bool
+readLineBounded(std::istream &in, std::string &line, std::size_t cap,
+                bool &complete, bool &oversized)
+{
+    using traits = std::char_traits<char>;
+    line.clear();
+    complete = false;
+    oversized = false;
+    std::streambuf *buf = in.rdbuf();
+    int ch = buf->sbumpc();
+    if (traits::eq_int_type(ch, traits::eof())) {
+        in.setstate(std::ios::eofbit | std::ios::failbit);
+        return false;
+    }
+    for (; !traits::eq_int_type(ch, traits::eof());
+         ch = buf->sbumpc()) {
+        if (ch == '\n') {
+            complete = true;
+            break;
+        }
+        if (cap != 0 && line.size() >= cap)
+            oversized = true; // keep consuming, stop accumulating
+        else
+            line.push_back(traits::to_char_type(ch));
+    }
+    if (traits::eq_int_type(ch, traits::eof()))
+        in.setstate(std::ios::eofbit);
+    return true;
+}
+
 } // namespace
 
 Server::Server(const ServeOptions &options)
@@ -79,13 +118,21 @@ Server::serve(std::istream &in, std::ostream &out)
         out_ = &out;
     }
     std::string line;
-    while (!stop_.load() && std::getline(in, line)) {
+    bool complete = false;
+    bool oversized = false;
+    while (!stop_.load() &&
+           readLineBounded(in, line, options_.maxLineBytes, complete,
+                           oversized)) {
         // A stop-flag EOF can surface mid-line; the unterminated
         // fragment is half a request the client never finished, not
         // input to answer (a final newline-less line from a client
         // that simply closed cleanly still parses: stop_ is unset).
-        if (!in.good() && stop_.load())
+        if (!complete && stop_.load())
             break;
+        if (oversized) {
+            handleOversizedLine();
+            continue;
+        }
         const std::string request = trimmed(line);
         if (!request.empty())
             handleLine(request);
@@ -168,15 +215,21 @@ Server::handleLine(const std::string &line)
         spec.store = options_.store;
         spec.jobs = 1; // request-level concurrency comes from the pool
         pool_.submit([this, seq, id = request.id, spec, admitted_at] {
+            if (deadlineExpired(admitted_at)) {
+                // Expired while queued: skip the work entirely (the
+                // finishJob override writes the timeout response).
+                finishJob(seq, id, std::string(), false, admitted_at);
+                return;
+            }
             try {
-                finishJob(seq,
+                finishJob(seq, id,
                           prepareResponse(id,
                                           driver::runPrepare(spec,
                                                              nullptr)),
                           true, admitted_at);
             } catch (const std::exception &err) {
-                finishJob(seq, errorResponse(id, err.what()), false,
-                          admitted_at);
+                finishJob(seq, id, errorResponse(id, err.what()),
+                          false, admitted_at);
             }
         });
         return;
@@ -201,20 +254,61 @@ Server::handleLine(const std::string &line)
         request.type == RequestType::kRun ? "run" : "sweep";
     pool_.submit([this, seq, id = request.id, spec, type,
                   admitted_at] {
+        if (deadlineExpired(admitted_at)) {
+            // Expired while queued: skip the work entirely (the
+            // finishJob override writes the timeout response).
+            finishJob(seq, id, std::string(), false, admitted_at);
+            return;
+        }
         try {
-            finishJob(seq,
+            finishJob(seq, id,
                       resultsResponse(id, type,
                                       driver::runSweep(spec, nullptr)),
                       true, admitted_at);
         } catch (const std::exception &err) {
-            finishJob(seq, errorResponse(id, err.what()), false,
+            finishJob(seq, id, errorResponse(id, err.what()), false,
                       admitted_at);
         }
     });
 }
 
 void
-Server::finishJob(std::uint64_t seq, std::string text, bool ok,
+Server::handleOversizedLine()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Same backpressure as handleLine: the error response still
+    // occupies an admission-order slot in ready_.
+    idle_.wait(lock, [this] {
+        return ready_.size() <= options_.queueDepth;
+    });
+    const std::uint64_t seq = nextSeq_++;
+    ++counters_.invalid;
+    bump("serve.invalid");
+    bump("serve.oversized");
+    // The id would be somewhere in the discarded bytes; a null id is
+    // the honest answer (request.hh renders empty as null).
+    respondImmediate(
+        seq,
+        errorResponse("",
+                      "request line exceeds the " +
+                          std::to_string(options_.maxLineBytes) +
+                          "-byte limit; split the request or raise "
+                          "--max-line-bytes"));
+}
+
+bool
+Server::deadlineExpired(
+    std::chrono::steady_clock::time_point admitted) const
+{
+    if (options_.requestTimeoutMs == 0)
+        return false;
+    return std::chrono::steady_clock::now() - admitted >
+           std::chrono::milliseconds(options_.requestTimeoutMs);
+}
+
+void
+Server::finishJob(std::uint64_t seq, const std::string &id,
+                  std::string text, bool ok,
                   std::chrono::steady_clock::time_point admitted)
 {
     // Latency is recorded outside the lock (the histogram is atomic):
@@ -224,10 +318,27 @@ Server::finishJob(std::uint64_t seq, std::string text, bool ok,
     requestLatency().record(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
             .count()));
-    bump(ok ? "serve.completed" : "serve.failed");
+    // Deadline check at completion: whether the work was skipped
+    // while queued or merely finished late, the caller sees the same
+    // structured timeout in the request's admission slot. Any result
+    // computed on the way is abandoned — but the warm state it built
+    // (plan cache, store artifacts) is not.
+    const bool timed_out = deadlineExpired(admitted);
+    if (timed_out) {
+        ok = false;
+        text = errorResponse(
+            id, "timeout: request exceeded --request-timeout-ms=" +
+                    std::to_string(options_.requestTimeoutMs) +
+                    " and was abandoned");
+        bump("serve.timeouts");
+    } else {
+        bump(ok ? "serve.completed" : "serve.failed");
+    }
 
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (ok)
+    if (timed_out)
+        ++counters_.timedOut;
+    else if (ok)
         ++counters_.completed;
     else
         ++counters_.failed;
@@ -286,11 +397,14 @@ Server::statusTextLocked(const std::string &id) const
         w.field("failed", counters_.failed);
         w.field("rejected", counters_.rejected);
         w.field("invalid", counters_.invalid);
+        w.field("timed_out", counters_.timedOut);
         w.endObject();
         w.field("jobs",
                 static_cast<std::uint64_t>(pool_.numThreads()));
         w.field("queue_depth",
                 static_cast<std::uint64_t>(options_.queueDepth));
+        w.field("request_timeout_ms",
+                static_cast<std::uint64_t>(options_.requestTimeoutMs));
 
         // Cumulative per-request latency (work requests only; the
         // registry is process-wide, so a process hosting several
@@ -342,6 +456,22 @@ Server::statusTextLocked(const std::string &id) const
         } else {
             w.null();
         }
+
+        // Degradation telemetry: every transparently absorbed fault
+        // (retries, store loads degraded to re-prepare, abandoned
+        // requests, fired failpoints). All zero on a healthy
+        // fault-free run, so these bytes stay deterministic for the
+        // smoke/chaos greps; a nonzero value is the daemon saying "I
+        // survived something".
+        w.key("robustness");
+        w.beginObject();
+        for (const char *name :
+             {"store.degraded_loads", "store.retries", "serve.retries",
+              "serve.timeouts", "failpoint.fires"}) {
+            w.field(name,
+                    perf::Registry::instance().counter(name).value());
+        }
+        w.endObject();
         w.endObject();
     }
     return os.str();

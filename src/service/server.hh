@@ -68,6 +68,24 @@ struct ServeOptions
      */
     std::uint32_t queueDepth = 256;
     /**
+     * Per-request wall-clock deadline in milliseconds (admission to
+     * response; 0 = none). A request that misses it is answered with
+     * a structured `"error":"timeout..."` line in its admission slot
+     * — ordering, backpressure and drain semantics are unchanged, the
+     * caller just learns the result was abandoned. Work already
+     * running is never killed mid-flight (results may still warm the
+     * caches); work that is still queued when its deadline passes is
+     * skipped entirely.
+     */
+    std::uint32_t requestTimeoutMs = 0;
+    /**
+     * Longest accepted request line in bytes (0 = unlimited). Longer
+     * lines are consumed with bounded memory and answered with a
+     * structured error instead of growing daemon memory without
+     * limit — the session then continues at the next line.
+     */
+    std::size_t maxLineBytes = 1 << 20;
+    /**
      * Daemon-wide plan store. Per-request plan directories are
      * deliberately not part of the request grammar: the store hangs
      * off the process-wide PlanCache, so switching it per request
@@ -84,7 +102,8 @@ struct ServeCounters
     std::uint64_t completed = 0; ///< answered with ok == true
     std::uint64_t failed = 0;    ///< admitted but answered with error
     std::uint64_t rejected = 0;  ///< bounced by the admission bound
-    std::uint64_t invalid = 0;   ///< malformed lines (parse errors)
+    std::uint64_t invalid = 0;   ///< malformed/oversized lines
+    std::uint64_t timedOut = 0;  ///< missed the per-request deadline
 };
 
 /** One serving daemon instance. */
@@ -132,14 +151,26 @@ class Server
     /** Parse, validate, admit and dispatch one request line. */
     void handleLine(const std::string &line);
 
+    /** Answer a line the bounded reader refused (too long) with a
+     *  structured error in its admission slot. */
+    void handleOversizedLine();
+
+    /** Whether @p admitted 's deadline has already passed (always
+     *  false with requestTimeoutMs == 0). */
+    bool deadlineExpired(
+        std::chrono::steady_clock::time_point admitted) const;
+
     /**
      * Record a response and flush everything now in order.
      * @p admitted is the request's admission time: the admission ->
      * response latency is published into the perf counter registry
      * ("serve.request_ns"), which status reports as the cumulative
-     * per-request latency summary.
+     * per-request latency summary. When the request missed its
+     * deadline, @p text is replaced by the structured timeout error
+     * (@p id is needed for exactly that rewrite).
      */
-    void finishJob(std::uint64_t seq, std::string text, bool ok,
+    void finishJob(std::uint64_t seq, const std::string &id,
+                   std::string text, bool ok,
                    std::chrono::steady_clock::time_point admitted);
     void respondImmediate(std::uint64_t seq, std::string text);
     void flushLocked();

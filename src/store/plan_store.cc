@@ -1,6 +1,8 @@
 #include "plan_store.hh"
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -8,10 +10,12 @@
 #include <fstream>
 #include <limits>
 #include <random>
+#include <thread>
 #include <type_traits>
 #include <utility>
 
 #include "common/checksum.hh"
+#include "common/failpoint.hh"
 #include "common/logging.hh"
 #include "perf/counters.hh"
 
@@ -92,6 +96,64 @@ class ByteReader
     std::size_t pos_ = 0;
 };
 
+#ifdef GRAPHR_STORE_HAVE_MMAP
+/**
+ * Bounded retry policy for transient I/O errors (EINTR/EAGAIN and
+ * short transfers): an operation is retried at most this many times,
+ * with a small exponential backoff, before the error is treated as
+ * permanent. Every retry is published as `store.retries`.
+ */
+constexpr int kMaxIoAttempts = 4;
+
+void
+noteRetry()
+{
+    static perf::Counter &retries =
+        perf::Registry::instance().counter("store.retries");
+    retries.add();
+}
+
+void
+backoff(int attempt)
+{
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(1 << (attempt > 0 ? attempt - 1 : 0)));
+}
+
+/**
+ * write() all @p n bytes, resuming short writes (injectable via
+ * store.write.short) and retrying bounded transient errors. On a
+ * permanent failure fills @p why and returns false.
+ */
+bool
+writeFull(int fd, const unsigned char *data, std::size_t n,
+          std::string &why)
+{
+    int transient = 0;
+    while (n > 0) {
+        std::size_t len = n;
+        if (len > 1 && GRAPHR_FAILPOINT("store.write.short"))
+            len = 1; // deterministic short write; the loop resumes
+        const ssize_t written = ::write(fd, data, len);
+        if (written < 0) {
+            if ((errno == EINTR || errno == EAGAIN) &&
+                ++transient < kMaxIoAttempts) {
+                noteRetry();
+                backoff(transient);
+                continue;
+            }
+            why = std::strerror(errno);
+            return false;
+        }
+        if (static_cast<std::size_t>(written) < n)
+            noteRetry(); // short transfer: resumed, counted, no sleep
+        data += written;
+        n -= static_cast<std::size_t>(written);
+    }
+    return true;
+}
+#endif
+
 /** Decoded artifact header. */
 struct Header
 {
@@ -130,6 +192,8 @@ class FileBytes
     bool
     read(const std::string &path)
     {
+        if (GRAPHR_FAILPOINT("store.open.fail"))
+            return false;
 #ifdef GRAPHR_STORE_HAVE_MMAP
         const char *no_mmap = std::getenv("GRAPHR_STORE_NO_MMAP");
         if (no_mmap == nullptr || no_mmap[0] == '\0' ||
@@ -150,6 +214,8 @@ class FileBytes
     bool
     readMapped(const std::string &path)
     {
+        if (GRAPHR_FAILPOINT("store.mmap.fail"))
+            return false; // degrades to the buffered path below
         const int fd = ::open(path.c_str(), O_RDONLY);
         if (fd < 0)
             return false;
@@ -180,6 +246,56 @@ class FileBytes
     }
 #endif
 
+#ifdef GRAPHR_STORE_HAVE_MMAP
+    /**
+     * Chunked POSIX read of the whole file. Transient errors
+     * (EINTR/EAGAIN — injectable via store.read.eintr) are retried
+     * with bounded backoff; a premature EOF (store.read.short) simply
+     * yields a truncated buffer, which header/payload validation then
+     * rejects — the degrade-to-fresh-prepare path, never a crash.
+     */
+    bool
+    readBuffered(const std::string &path)
+    {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0)
+            return false;
+        constexpr std::size_t kChunk = 1 << 20;
+        buffer_.clear();
+        int transient = 0;
+        for (;;) {
+            const std::size_t at = buffer_.size();
+            buffer_.resize(at + kChunk);
+            ssize_t n;
+            if (GRAPHR_FAILPOINT("store.read.eintr")) {
+                n = -1;
+                errno = EINTR;
+            } else if (GRAPHR_FAILPOINT("store.read.short")) {
+                n = 0; // the file "ends" mid-read: truncated artifact
+            } else {
+                n = ::read(fd, buffer_.data() + at, kChunk);
+            }
+            if (n < 0) {
+                buffer_.resize(at);
+                if ((errno == EINTR || errno == EAGAIN) &&
+                    ++transient < kMaxIoAttempts) {
+                    noteRetry();
+                    backoff(transient);
+                    continue;
+                }
+                ::close(fd);
+                return false;
+            }
+            buffer_.resize(at + static_cast<std::size_t>(n));
+            if (n == 0)
+                break;
+        }
+        ::close(fd);
+        data_ = buffer_.data();
+        size_ = buffer_.size();
+        return true;
+    }
+#else
     bool
     readBuffered(const std::string &path)
     {
@@ -202,6 +318,7 @@ class FileBytes
         size_ = buffer_.size();
         return true;
     }
+#endif
 
     std::vector<unsigned char> buffer_;
 #ifdef GRAPHR_STORE_HAVE_MMAP
@@ -583,6 +700,12 @@ PlanStore::load(std::uint64_t fingerprint,
         perf::Registry::instance()
             .counter("store.load_rejects")
             .add();
+        // An artifact existed but could not be used: the caller falls
+        // back to a fresh prepare. This is the degradation contract
+        // ("corruption degrades, never crashes") made observable.
+        perf::Registry::instance()
+            .counter("store.degraded_loads")
+            .add();
         GRAPHR_WARN("plan store: ignoring ", file, ": ", why,
                     " — preparing afresh");
         return nullptr;
@@ -647,6 +770,44 @@ PlanStore::save(const TilePlan &plan, const TilingParams &tiling) const
 
     const std::string final_path = path(plan.fingerprint, tiling);
     const std::string tmp_path = final_path + tempSuffix();
+#ifdef GRAPHR_STORE_HAVE_MMAP
+    {
+        const int fd =
+            GRAPHR_FAILPOINT("store.write.fail")
+                ? -1
+                : ::open(tmp_path.c_str(),
+                         O_WRONLY | O_CREAT | O_TRUNC, 0666);
+        if (fd < 0) {
+            throw StoreError("cannot write plan artifact '" +
+                             tmp_path + "'");
+        }
+        std::string why;
+        bool ok = writeFull(fd, header.bytes().data(),
+                            header.bytes().size(), why) &&
+                  writeFull(fd, payload.bytes().data(),
+                            payload.bytes().size(), why);
+        // Crash durability: the artifact bytes must be on stable
+        // storage *before* the rename publishes the name. Without
+        // this fsync a crash shortly after save() could leave the
+        // final name pointing at torn data — rename orders the
+        // metadata, not the file contents.
+        if (ok && (GRAPHR_FAILPOINT("store.fsync.fail") ||
+                   ::fsync(fd) != 0)) {
+            why = "fsync failed";
+            ok = false;
+        }
+        if (::close(fd) != 0 && ok) {
+            why = std::strerror(errno);
+            ok = false;
+        }
+        if (!ok) {
+            std::error_code ec;
+            fs::remove(tmp_path, ec);
+            throw StoreError("failed writing plan artifact '" +
+                             tmp_path + "': " + why);
+        }
+    }
+#else
     {
         std::ofstream os(tmp_path, std::ios::binary);
         if (!os) {
@@ -667,14 +828,33 @@ PlanStore::save(const TilePlan &plan, const TilingParams &tiling) const
                              tmp_path + "'");
         }
     }
+#endif
     std::error_code ec;
-    fs::rename(tmp_path, final_path, ec);
+    if (GRAPHR_FAILPOINT("store.rename.fail"))
+        ec = std::make_error_code(std::errc::io_error);
+    else
+        fs::rename(tmp_path, final_path, ec);
     if (ec) {
         const std::string reason = ec.message();
         fs::remove(tmp_path, ec);
         throw StoreError("cannot move plan artifact into place at '" +
                          final_path + "': " + reason);
     }
+#ifdef GRAPHR_STORE_HAVE_MMAP
+    // Make the publishing rename itself durable. A failure here only
+    // weakens durability of an already-valid, already-visible
+    // artifact, so it warns instead of throwing.
+    const int dirfd =
+        ::open(directory_.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirfd < 0 || ::fsync(dirfd) != 0) {
+        GRAPHR_WARN("plan store: cannot fsync directory '",
+                    directory_, "': ", std::strerror(errno),
+                    " — artifact saved but the rename may not "
+                    "survive a crash");
+    }
+    if (dirfd >= 0)
+        ::close(dirfd);
+#endif
     saves_.fetch_add(1, std::memory_order_relaxed);
     perf::Registry::instance().counter("store.saves").add();
     return final_path;

@@ -33,11 +33,19 @@
  *
  * Loads validate magic -> version -> header checksum -> fingerprint &
  * tiling -> payload size & checksum before any payload is trusted;
- * every failure degrades to a miss (fresh prepare), never a crash.
- * Saves write to a unique temporary in the same directory and
- * atomically rename over the final name, so readers only ever see
- * complete files. Reads go through mmap where available, with a
- * chunked-read fallback (also selectable via GRAPHR_STORE_NO_MMAP=1).
+ * every failure degrades to a miss (fresh prepare), never a crash —
+ * each such degradation is published as `store.degraded_loads`.
+ * Saves write to a unique temporary in the same directory, fsync it,
+ * atomically rename over the final name, then fsync the directory:
+ * readers only ever see complete files, and a crash at any point
+ * leaves either the old artifact or the new one, never torn bytes
+ * under the final name. Reads go through mmap where available, with a
+ * chunked-read fallback (also selectable via GRAPHR_STORE_NO_MMAP=1);
+ * transient I/O errors (EINTR/EAGAIN, short transfers) are retried
+ * with bounded backoff (`store.retries`). Both paths carry
+ * fault-injection sites (common/failpoint.hh, the `store.*` names)
+ * so the degradation and durability contracts are exercised by
+ * tests/chaos.sh rather than merely asserted here.
  */
 
 #ifndef GRAPHR_STORE_PLAN_STORE_HH

@@ -1,0 +1,162 @@
+#!/usr/bin/env bash
+# Chaos sweep of the graphr_serve daemon (run from ctest and CI).
+#
+# The worklist is the binary's own failpoint registry
+# (graphr_serve --list-failpoints), so a newly added site cannot be
+# forgotten here: every site this script does not know how to
+# classify fails the sweep with an instruction to extend it.
+#
+# For every site the same request stream is served with
+# GRAPHR_FAILPOINTS=<site>:1@1 armed, and:
+#   1. the daemon must exit 0 — no injected fault may crash it;
+#   2. sites classified `transient` (absorbed by retry/fallback/
+#      degradation) must produce work responses byte-identical to the
+#      fault-free baseline, and the status line must prove the fault
+#      actually fired (failpoint.fires >= 1);
+#   3. sites classified `erroring` must answer the affected request
+#      with a structured `"ok":false` error while later requests in
+#      the same session still match the baseline;
+#   4. sites classified `session` (the fd-level permanent faults) end
+#      the client session early — only the clean exit is asserted.
+#
+# Two extra scenarios close the loop on the server hardening: a
+# deadline miss (pool.task.slow vs --request-timeout-ms) must yield a
+# structured timeout, and an oversized request line must yield a
+# structured error with the session continuing.
+set -eu
+
+serve_bin="$1"
+run_bin="$2"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+dataset='rmat:vertices=128,edges=512,seed=3'
+
+requests() {
+  printf '%s\n' \
+    '{"id":"r1","type":"run","workload":"pagerank","backend":"outofcore","dataset":"'"$dataset"'"}' \
+    '{"id":"r2","type":"run","workload":"wcc","backend":"outofcore","dataset":"'"$dataset"'"}' \
+    '{"id":"q1","type":"status"}'
+}
+
+work_lines() { # responses to the run requests, id order
+  grep -e '"id":"r1"' -e '"id":"r2"' "$1" || true
+}
+
+fail() {
+  echo "chaos: $*" >&2
+  exit 1
+}
+
+# Plans prepared fault-free: the read-path sites need an artifact on
+# disk to load (a fresh daemon run would build instead of load).
+prepared="$workdir/prepared_plans"
+"$run_bin" prepare --dataset "$dataset" --plan-dir "$prepared" \
+  > /dev/null
+
+# Fault-free baseline. Whether a plan is store-loaded or rebuilt, the
+# run reports are byte-identical (the store round-trip tests pin
+# that), so one baseline serves every per-site directory layout.
+baseline="$workdir/baseline"
+requests | "$serve_bin" --stdin --plan-dir "$prepared" > "$baseline"
+test "$(wc -l < "$baseline")" -eq 3 || fail "baseline incomplete"
+work_lines "$baseline" > "$workdir/baseline_work"
+
+sites="$("$serve_bin" --list-failpoints)"
+test -n "$sites" || fail "--list-failpoints returned nothing"
+
+for site in $sites; do
+  # Classification drives both the directory layout (read-path sites
+  # load a prepared artifact; write-path sites save into an empty
+  # directory) and the assertion tier.
+  plan_dir="$workdir/plans_$site"
+  env_extra=()
+  case "$site" in
+    store.open.fail|store.mmap.fail)
+      kind=transient; cp -r "$prepared" "$plan_dir" ;;
+    store.read.eintr|store.read.short)
+      # Only the buffered (non-mmap) reader has a read loop to fault.
+      kind=transient; cp -r "$prepared" "$plan_dir"
+      env_extra=(GRAPHR_STORE_NO_MMAP=1) ;;
+    store.write.fail|store.write.short|store.fsync.fail|store.rename.fail)
+      kind=transient; mkdir -p "$plan_dir" ;;
+    serve.read.eintr|serve.write.short|pool.task.slow)
+      kind=transient; mkdir -p "$plan_dir" ;;
+    cache.build.fail)
+      kind=erroring; mkdir -p "$plan_dir" ;;
+    serve.read.eio|serve.write.eio)
+      kind=session; mkdir -p "$plan_dir" ;;
+    *)
+      fail "unclassified failpoint site '$site' — extend tests/chaos.sh" ;;
+  esac
+
+  out="$workdir/out_$site"
+  if ! requests | env "${env_extra[@]+"${env_extra[@]}"}" \
+      GRAPHR_FAILPOINTS="$site:1@1" \
+      "$serve_bin" --stdin --plan-dir "$plan_dir" > "$out"; then
+    fail "$site: daemon exited nonzero"
+  fi
+
+  case "$kind" in
+    transient)
+      work_lines "$out" > "$workdir/work_$site"
+      if ! cmp -s "$workdir/baseline_work" "$workdir/work_$site"; then
+        {
+          echo "--- baseline"; cat "$workdir/baseline_work"
+          echo "--- with fault"; cat "$workdir/work_$site"
+        } >&2
+        fail "$site: transient fault changed a work response"
+      fi
+      robustness="$(grep -o '"robustness":{[^}]*}' "$out")" \
+        || fail "$site: no robustness block in status"
+      if echo "$robustness" | grep -q '"failpoint.fires":0'; then
+        fail "$site: armed failpoint never fired (site unreached)"
+      fi
+      ;;
+    erroring)
+      grep -q '"id":"r1","ok":false' "$out" \
+        || fail "$site: expected a structured error for r1"
+      grep -e '"id":"r2"' "$out" > "$workdir/work_$site" || true
+      if ! grep -e '"id":"r2"' "$workdir/baseline_work" \
+          | cmp -s - "$workdir/work_$site"; then
+        fail "$site: the request after the fault diverged"
+      fi
+      ;;
+    session)
+      : # clean exit already asserted; the session may end early
+      ;;
+  esac
+  echo "chaos: $site ($kind) ok"
+done
+
+# Deadline scenario: a stalled worker must miss --request-timeout-ms
+# and be answered with a structured timeout, counted as timed_out.
+out="$workdir/out_timeout"
+requests | GRAPHR_FAILPOINTS='pool.task.slow:1@1=400' \
+  "$serve_bin" --stdin --request-timeout-ms 50 > "$out" \
+  || fail "timeout scenario: daemon exited nonzero"
+grep -q '"id":"r1","ok":false,"error":"timeout' "$out" \
+  || fail "timeout scenario: no structured timeout for r1"
+# r2 was queued behind the stalled r1, so its admission-to-response
+# clock may expire too — assert the count is nonzero, not exact.
+grep -o '"served":{[^}]*}' "$out" | grep -q '"timed_out":[1-9]' \
+  || fail "timeout scenario: status did not count the timeout"
+
+# Oversized-line scenario: the over-limit line gets a structured
+# error (null id) and the session continues with the next request.
+out="$workdir/out_oversized"
+big_line='{"id":"big","type":"run","junk":"'
+big_line="$big_line$(printf 'x%.0s' $(seq 1 200))\"}"
+# The cap must sit between the real request lines (~115 bytes) and
+# the junk line (~235 bytes): only the junk line may be refused.
+{ printf '%s\n' "$big_line"; requests; } \
+  | "$serve_bin" --stdin --max-line-bytes 128 > "$out" \
+  || fail "oversized scenario: daemon exited nonzero"
+grep -q '"id":null,"ok":false,"error":"request line exceeds' "$out" \
+  || fail "oversized scenario: no structured error for the long line"
+if ! cmp -s "$workdir/baseline_work" <(work_lines "$out"); then
+  fail "oversized scenario: later requests diverged"
+fi
+
+echo "serve chaos ok"
