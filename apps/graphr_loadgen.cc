@@ -1,0 +1,411 @@
+/**
+ * @file
+ * graphr_loadgen: trace-replay load generator for graphr_serve.
+ *
+ * Opens C concurrent connections to a running daemon and replays a
+ * request trace on each — closed-loop (send, await the response,
+ * send the next), optionally paced to a target per-connection rate.
+ * Reports one JSON line with end-to-end latency percentiles and
+ * per-connection fairness stats, which is what the perf suite's
+ * serve.concurrent scenario and the CI loadgen smoke consume:
+ *
+ *   graphr_serve --port 7447 --jobs 4 &
+ *   graphr_loadgen --port 7447 --connections 8 --requests 50
+ *
+ * The trace file (--trace) holds one request template per line —
+ * the graphr_serve grammar minus the "id" member, which loadgen
+ * injects as "c<conn>-r<seq>" so every response can be matched to
+ * its request. Connections replay the trace round-robin, each
+ * starting at its own offset so simultaneous clients exercise
+ * different requests. Without --trace, a built-in single-line trace
+ * (a small pagerank run) is used.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/client.hh"
+#include "common/json.hh"
+#include "driver/driver.hh"
+#include "driver/params.hh"
+
+namespace
+{
+
+using namespace graphr;
+using Clock = std::chrono::steady_clock;
+
+struct LoadgenOptions
+{
+    int port = -1;
+    std::uint32_t connections = 8;
+    std::uint32_t requests = 50; ///< per connection
+    std::string tracePath;
+    double ratePerConn = 0.0; ///< requests/s per connection (0 = max)
+    std::uint32_t timeoutMs = 60000;
+    bool help = false;
+};
+
+std::string
+usageText()
+{
+    return "graphr_loadgen — trace-replay load generator for "
+           "graphr_serve\n"
+           "\n"
+           "usage: graphr_loadgen --port N [flags]\n"
+           "\n"
+           "flags:\n"
+           "  --port n         daemon port on 127.0.0.1 (required)\n"
+           "  --connections n  concurrent connections (default 8)\n"
+           "  --requests n     requests per connection (default 50)\n"
+           "  --trace path     JSONL request templates without the\n"
+           "                   \"id\" member (loadgen injects it);\n"
+           "                   replayed round-robin per connection.\n"
+           "                   Default: a built-in small pagerank run\n"
+           "  --rate r         target requests/s per connection\n"
+           "                   (default 0 = closed-loop, as fast as\n"
+           "                   responses return)\n"
+           "  --timeout-ms n   per-response receive timeout (default\n"
+           "                   60000)\n"
+           "  --help           this text\n"
+           "\n"
+           "Output: one JSON line on stdout — totals, wall time,\n"
+           "latency min/p50/p99/max, per-connection counters and the\n"
+           "fairness spread (max ok - min ok across connections).\n";
+}
+
+LoadgenOptions
+parseCli(const std::vector<std::string> &args)
+{
+    using driver::DriverError;
+    LoadgenOptions opts;
+    auto next = [&args](std::size_t &i,
+                        const std::string &flag) -> const std::string & {
+        if (i + 1 >= args.size())
+            throw DriverError("flag " + flag + " needs a value");
+        return args[++i];
+    };
+    auto parseU32 = [](const std::string &flag,
+                       const std::string &value, std::uint32_t max) {
+        driver::ParamMap map;
+        map.set(flag, value);
+        const std::uint32_t n = map.getU32(flag, 0);
+        if (n > max)
+            throw DriverError(flag + " must be in [0, " +
+                              std::to_string(max) + "]");
+        return n;
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--port") {
+            opts.port = static_cast<int>(
+                parseU32(arg, next(i, arg), 65535));
+        } else if (arg == "--connections") {
+            opts.connections = parseU32(arg, next(i, arg), 4096);
+            if (opts.connections == 0)
+                throw DriverError("--connections must be at least 1");
+        } else if (arg == "--requests") {
+            opts.requests = parseU32(arg, next(i, arg), 1u << 20);
+            if (opts.requests == 0)
+                throw DriverError("--requests must be at least 1");
+        } else if (arg == "--trace") {
+            opts.tracePath = next(i, arg);
+        } else if (arg == "--rate") {
+            driver::ParamMap map;
+            map.set(arg, next(i, arg));
+            opts.ratePerConn = map.getDouble(arg, 0.0);
+            if (opts.ratePerConn < 0.0)
+                throw DriverError("--rate must be >= 0");
+        } else if (arg == "--timeout-ms") {
+            opts.timeoutMs = parseU32(arg, next(i, arg), 86400000u);
+        } else if (arg == "--help" || arg == "-h") {
+            opts.help = true;
+        } else {
+            throw DriverError("unknown flag '" + arg +
+                              "' (see --help)");
+        }
+    }
+    if (!opts.help && opts.port < 0)
+        throw DriverError("--port is required (see --help)");
+    return opts;
+}
+
+std::vector<std::string>
+loadTrace(const std::string &path)
+{
+    if (path.empty()) {
+        return {"{\"type\":\"run\",\"workload\":\"pagerank\","
+                "\"backend\":\"graphr\",\"dataset\":\"wiki-vote\","
+                "\"scale\":2}"};
+    }
+    std::ifstream in(path);
+    if (!in)
+        throw driver::DriverError("cannot open --trace file '" +
+                                  path + "'");
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        while (!line.empty() &&
+               (line.back() == '\r' || line.back() == ' '))
+            line.pop_back();
+        if (!line.empty())
+            lines.push_back(line);
+    }
+    if (lines.empty())
+        throw driver::DriverError("--trace file '" + path +
+                                  "' has no request lines");
+    return lines;
+}
+
+/** Splice `"id":"..."` in as the first member of a template line. */
+std::string
+withId(const std::string &tmpl, const std::string &id)
+{
+    const std::size_t brace = tmpl.find('{');
+    if (brace == std::string::npos)
+        throw driver::DriverError("trace line is not a JSON object: " +
+                                  tmpl);
+    const bool empty_object =
+        tmpl.find_first_not_of(" \t", brace + 1) != std::string::npos &&
+        tmpl[tmpl.find_first_not_of(" \t", brace + 1)] == '}';
+    std::string out = tmpl.substr(0, brace + 1);
+    out += "\"id\":\"" + id + "\"";
+    if (!empty_object)
+        out += ",";
+    out += tmpl.substr(brace + 1);
+    return out;
+}
+
+/** What one connection's worker thread measured. */
+struct ConnResult
+{
+    std::uint64_t sent = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;    ///< responses with "ok":false
+    std::uint64_t timedOut = 0;  ///< receive timeouts
+    std::uint64_t transport = 0; ///< connect/send/recv failures
+    std::vector<std::uint64_t> latenciesNs;
+    std::string firstFailure; ///< first transport failure message
+};
+
+void
+runConnection(const LoadgenOptions &opts,
+              const std::vector<std::string> &trace,
+              std::uint32_t conn_index, ConnResult &result)
+{
+    result.latenciesNs.reserve(opts.requests);
+    try {
+        client::Client client(opts.port);
+        if (opts.timeoutMs != 0)
+            client.setRecvTimeoutMs(
+                static_cast<int>(opts.timeoutMs));
+        const Clock::time_point start = Clock::now();
+        for (std::uint32_t r = 0; r < opts.requests; ++r) {
+            if (opts.ratePerConn > 0.0) {
+                // Paced replay: request r is due at start + r/rate;
+                // a response that came back early waits, a late one
+                // lets the loop fire immediately (open-loop catch-up
+                // is deliberately not attempted).
+                const auto due =
+                    start +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(r) /
+                            opts.ratePerConn));
+                std::this_thread::sleep_until(due);
+            }
+            const std::string id = "c" +
+                                   std::to_string(conn_index) + "-r" +
+                                   std::to_string(r);
+            // Each connection starts the trace at its own offset so
+            // C simultaneous clients exercise different lines.
+            const std::string &tmpl =
+                trace[(conn_index + r) % trace.size()];
+            const Clock::time_point t0 = Clock::now();
+            std::string response;
+            try {
+                response = client.request(withId(tmpl, id));
+            } catch (const client::ClientError &err) {
+                ++result.sent;
+                const std::string what = err.what();
+                if (what.find("timed out") != std::string::npos) {
+                    ++result.timedOut;
+                } else {
+                    ++result.transport;
+                    if (result.firstFailure.empty())
+                        result.firstFailure = what;
+                }
+                // The stream is now desynchronised (a late response
+                // would be matched to the wrong request); stop this
+                // connection rather than report garbage latencies.
+                return;
+            }
+            const auto elapsed = Clock::now() - t0;
+            ++result.sent;
+            result.latenciesNs.push_back(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    elapsed)
+                    .count()));
+            const bool id_echoed =
+                response.find("\"id\":\"" + id + "\"") !=
+                std::string::npos;
+            if (id_echoed &&
+                response.find("\"ok\":true") != std::string::npos)
+                ++result.ok;
+            else
+                ++result.errors;
+        }
+    } catch (const client::ClientError &err) {
+        ++result.transport;
+        result.firstFailure = err.what();
+    }
+}
+
+double
+quantileMs(std::vector<std::uint64_t> &sorted_ns, double q)
+{
+    if (sorted_ns.empty())
+        return 0.0;
+    const std::size_t index = static_cast<std::size_t>(
+        q * static_cast<double>(sorted_ns.size() - 1) + 0.5);
+    return static_cast<double>(sorted_ns[index]) / 1e6;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const LoadgenOptions opts = parseCli(
+            std::vector<std::string>(argv + 1, argv + argc));
+        if (opts.help) {
+            std::cout << usageText();
+            return 0;
+        }
+        const std::vector<std::string> trace =
+            loadTrace(opts.tracePath);
+
+        std::vector<ConnResult> results(opts.connections);
+        const Clock::time_point wall0 = Clock::now();
+        {
+            std::vector<std::thread> threads;
+            threads.reserve(opts.connections);
+            for (std::uint32_t c = 0; c < opts.connections; ++c) {
+                threads.emplace_back([&opts, &trace, &results, c] {
+                    runConnection(opts, trace, c, results[c]);
+                });
+            }
+            for (std::thread &t : threads)
+                t.join();
+        }
+        const double wall_ms =
+            static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - wall0)
+                    .count()) /
+            1e6;
+
+        std::uint64_t sent = 0;
+        std::uint64_t ok = 0;
+        std::uint64_t errors = 0;
+        std::uint64_t timed_out = 0;
+        std::uint64_t transport = 0;
+        std::uint64_t min_ok = UINT64_MAX;
+        std::uint64_t max_ok = 0;
+        std::vector<std::uint64_t> all_ns;
+        std::string first_failure;
+        for (const ConnResult &r : results) {
+            sent += r.sent;
+            ok += r.ok;
+            errors += r.errors;
+            timed_out += r.timedOut;
+            transport += r.transport;
+            min_ok = std::min(min_ok, r.ok);
+            max_ok = std::max(max_ok, r.ok);
+            all_ns.insert(all_ns.end(), r.latenciesNs.begin(),
+                          r.latenciesNs.end());
+            if (first_failure.empty() && !r.firstFailure.empty())
+                first_failure = r.firstFailure;
+        }
+        std::sort(all_ns.begin(), all_ns.end());
+
+        std::ostringstream os;
+        {
+            JsonWriter w(os, /*indent=*/0);
+            w.beginObject();
+            w.field("connections",
+                    static_cast<std::uint64_t>(opts.connections));
+            w.field("requests_per_conn",
+                    static_cast<std::uint64_t>(opts.requests));
+            w.field("sent", sent);
+            w.field("ok", ok);
+            w.field("errors", errors);
+            w.field("timed_out", timed_out);
+            w.field("transport_failures", transport);
+            if (!first_failure.empty())
+                w.field("first_failure", first_failure);
+            w.field("wall_ms", wall_ms);
+            w.field("requests_per_s",
+                    wall_ms > 0.0
+                        ? static_cast<double>(sent) * 1e3 / wall_ms
+                        : 0.0);
+            w.key("latency_ms");
+            w.beginObject();
+            w.field("min", all_ns.empty()
+                               ? 0.0
+                               : static_cast<double>(all_ns.front()) /
+                                     1e6);
+            w.field("p50", quantileMs(all_ns, 0.50));
+            w.field("p99", quantileMs(all_ns, 0.99));
+            w.field("max", all_ns.empty()
+                               ? 0.0
+                               : static_cast<double>(all_ns.back()) /
+                                     1e6);
+            w.endObject();
+            w.key("per_connection");
+            w.beginArray();
+            for (std::size_t c = 0; c < results.size(); ++c) {
+                std::vector<std::uint64_t> ns =
+                    results[c].latenciesNs;
+                std::sort(ns.begin(), ns.end());
+                w.beginObject();
+                w.field("conn", static_cast<std::uint64_t>(c));
+                w.field("sent", results[c].sent);
+                w.field("ok", results[c].ok);
+                w.field("errors", results[c].errors);
+                w.field("p50_ms", quantileMs(ns, 0.50));
+                w.endObject();
+            }
+            w.endArray();
+            // The fairness contract: under identical closed-loop
+            // clients, per-connection completions should stay close
+            // — a large spread means someone was starved.
+            w.key("fairness");
+            w.beginObject();
+            const std::uint64_t lo =
+                min_ok == UINT64_MAX ? 0 : min_ok;
+            w.field("min_ok", lo);
+            w.field("max_ok", max_ok);
+            w.field("spread", max_ok - lo);
+            w.endObject();
+            w.endObject();
+        }
+        std::cout << os.str() << "\n";
+        // Nonzero exit when nothing succeeded at all — a smoke that
+        // points at a dead port must fail loudly.
+        return ok > 0 ? 0 : 2;
+    } catch (const driver::DriverError &err) {
+        std::cerr << "error: " << err.what() << "\n\n"
+                  << "run 'graphr_loadgen --help' for usage\n";
+        return 1;
+    }
+}

@@ -13,29 +13,30 @@
  *
  *   graphr_serve --port 7447 --jobs 4 --plan-dir plans/
  *
- * One response line per request, ids echoed, admission order. TCP
- * mode serves loopback connections one at a time (a connection owns
- * the warm state until it closes; the next accept reuses it).
- * SIGTERM/SIGINT and EOF both drain gracefully: in-flight requests
- * finish, every pending response is flushed, then the process exits.
+ * One response line per request, ids echoed, per-connection admission
+ * order. TCP mode serves up to --max-connections loopback clients
+ * simultaneously over one shared warm state (src/net/event_loop.hh):
+ * requests interleave round-robin across connections, each connection
+ * gets its own --conn-queue-depth admission quota, and every stream's
+ * responses come back in that stream's admission order.
+ * SIGTERM/SIGINT and EOF both drain gracefully: the listener closes
+ * at signal receipt (stop accepting), in-flight requests finish,
+ * every pending response is flushed, then the process exits.
  * See docs/CLI.md for the full request grammar.
  */
 
 #include <atomic>
-#include <cerrno>
 #include <csignal>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/failpoint.hh"
 #include "driver/params.hh"
+#include "net/event_loop.hh"
+#include "net/listener.hh"
 #include "service/fd_stream.hh"
 #include "service/server.hh"
 
@@ -87,6 +88,11 @@ struct ServeCliOptions
     service::ServeOptions server;
     /** TCP port to listen on (loopback); negative = stdin mode. */
     int port = -1;
+    /** Simultaneous TCP connections the event loop serves. */
+    std::uint32_t maxConnections = 64;
+    /** Whether --conn-queue-depth was given (TCP mode otherwise
+     *  defaults the per-connection quota to 32). */
+    bool connDepthSet = false;
     bool help = false;
     bool listFailpoints = false;
 };
@@ -101,13 +107,23 @@ usageText()
            "flags:\n"
            "  --stdin             serve JSONL requests from stdin,\n"
            "                      responses to stdout (the default)\n"
-           "  --port n            listen on 127.0.0.1:n instead (one\n"
-           "                      connection at a time; 0 = pick a\n"
-           "                      free port, printed to stderr)\n"
+           "  --port n            listen on 127.0.0.1:n instead,\n"
+           "                      serving many connections at once\n"
+           "                      (0 = pick a free port, printed to\n"
+           "                      stderr)\n"
            "  --jobs n            worker threads executing requests\n"
            "                      (default 1; 0 = hardware threads)\n"
-           "  --queue-depth n     max outstanding requests before\n"
-           "                      admission rejects (default 256)\n"
+           "  --queue-depth n     max outstanding requests across all\n"
+           "                      connections before admission\n"
+           "                      rejects (default 256)\n"
+           "  --conn-queue-depth n\n"
+           "                      max outstanding requests per\n"
+           "                      connection — the fairness quota\n"
+           "                      (default 32 in TCP mode, 0 = only\n"
+           "                      the global bound; stdin default 0)\n"
+           "  --max-connections n simultaneous TCP connections; more\n"
+           "                      wait in the accept backlog\n"
+           "                      (default 64)\n"
            "  --request-timeout-ms n\n"
            "                      per-request deadline; a request\n"
            "                      that misses it is answered with a\n"
@@ -171,6 +187,15 @@ parseServeCli(const std::vector<std::string> &args)
         } else if (arg == "--queue-depth") {
             opts.server.queueDepth =
                 parseU32(arg, next(i, arg), 1u << 20);
+        } else if (arg == "--conn-queue-depth") {
+            opts.server.connQueueDepth =
+                parseU32(arg, next(i, arg), 1u << 20);
+            opts.connDepthSet = true;
+        } else if (arg == "--max-connections") {
+            opts.maxConnections = parseU32(arg, next(i, arg), 4096);
+            if (opts.maxConnections == 0)
+                throw DriverError(
+                    "--max-connections must be at least 1");
         } else if (arg == "--request-timeout-ms") {
             opts.server.requestTimeoutMs =
                 parseU32(arg, next(i, arg), 86400000u);
@@ -193,66 +218,16 @@ parseServeCli(const std::vector<std::string> &args)
     return opts;
 }
 
-/** Listen on loopback:port; returns the listening fd or throws. */
+/** TCP mode: the poll(2) event loop over shared warm state. */
 int
-listenLoopback(int port, std::ostream &log)
+serveTcp(service::Server &server, const ServeCliOptions &opts)
 {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0)
-        throw driver::DriverError("cannot create socket: " +
-                                  std::string(std::strerror(errno)));
-    const int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-    sockaddr_in addr = {};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(port));
-    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
-               sizeof(addr)) != 0 ||
-        ::listen(fd, 8) != 0) {
-        const std::string what = std::strerror(errno);
-        ::close(fd);
-        throw driver::DriverError("cannot listen on 127.0.0.1:" +
-                                  std::to_string(port) + ": " + what);
-    }
-
-    sockaddr_in bound = {};
-    socklen_t len = sizeof(bound);
-    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
-                      &len) == 0)
-        port = ntohs(bound.sin_port);
-    log << "graphr_serve listening on 127.0.0.1:" << port << "\n"
-        << std::flush;
-    return fd;
-}
-
-/** Accept loop: one connection at a time over shared warm state. */
-int
-serveTcp(service::Server &server, int port)
-{
-    const int listen_fd = listenLoopback(port, std::cerr);
-    while (!server.stopRequested()) {
-        // Poll before accepting so a SIGTERM racing the blocking
-        // accept() still stops the loop within one poll tick.
-        if (!service::waitReadable(listen_fd, &server.stopFlag()))
-            break;
-        const int fd = ::accept(listen_fd, nullptr, nullptr);
-        if (fd < 0) {
-            if (errno == EINTR)
-                continue; // signal: loop re-checks the stop flag
-            std::cerr << "accept failed: " << std::strerror(errno)
-                      << "\n";
-            break;
-        }
-        service::FdInBuf inbuf(fd, &server.stopFlag());
-        service::FdOutBuf outbuf(fd, &server.stopFlag());
-        std::istream in(&inbuf);
-        std::ostream out(&outbuf);
-        server.serve(in, out);
-        ::close(fd);
-    }
-    ::close(listen_fd);
+    net::Listener listener(opts.port, std::cerr);
+    net::EventLoopOptions loop_opts;
+    loop_opts.maxConnections = opts.maxConnections;
+    loop_opts.maxLineBytes = opts.server.maxLineBytes;
+    net::EventLoop loop(server, listener, loop_opts, std::cerr);
+    loop.run();
     return 0;
 }
 
@@ -262,8 +237,13 @@ int
 main(int argc, char **argv)
 {
     try {
-        const ServeCliOptions opts = parseServeCli(
+        ServeCliOptions opts = parseServeCli(
             std::vector<std::string>(argv + 1, argv + argc));
+        // TCP mode defaults the per-connection quota on: that is the
+        // fairness mechanism between simultaneous clients. The lone
+        // stdin stream keeps the historical global-only bound.
+        if (opts.port >= 0 && !opts.connDepthSet)
+            opts.server.connQueueDepth = 32;
         if (opts.help) {
             std::cout << usageText();
             return 0;
@@ -293,7 +273,7 @@ main(int argc, char **argv)
             std::ostream out(&outbuf);
             server.serve(in, out);
         } else {
-            serveTcp(server, opts.port);
+            serveTcp(server, opts);
         }
         return 0;
     } catch (const driver::DriverError &err) {

@@ -22,6 +22,9 @@ namespace
  */
 constexpr std::string_view kKnownSites[] = {
     "cache.build.fail",  ///< PlanCache factory throws mid-build
+    "net.accept.fail",     ///< accept() reports a transient error
+    "net.conn.read.fail",  ///< connection read reports an I/O error
+    "net.conn.write.fail", ///< connection write reports an I/O error
     "pool.task.slow",    ///< worker stalls `=ms` (default 50) pre-task
     "serve.read.eintr",  ///< fd read reports a transient EINTR
     "serve.read.eio",    ///< fd read reports a permanent I/O error

@@ -183,6 +183,13 @@ expandBackendNames(const std::vector<std::string> &names)
 void
 installPlanStore(const StoreSpec &spec)
 {
+    // A request-scoped override (graphr_serve tenant namespaces) wins
+    // over any spec-carried directory: the worker task has already
+    // bound this thread to the tenant's store, and re-pointing the
+    // process-wide store from under concurrent requests is exactly
+    // the hazard the override exists to avoid.
+    if (PlanCache::storeOverrideActive())
+        return;
     if (spec.planDir.empty()) {
         PlanCache::instance().setStore(nullptr);
         return;

@@ -78,9 +78,11 @@ runPrepare(const PrepareSpec &spec, std::ostream *progress)
     // Open the store once, with the driver-level error mapping (an
     // unusable directory reports as a user error, not a crash), and
     // leave it attached so follow-up runs in this process benefit.
+    // Under a request-scoped override (tenant namespaces) the install
+    // is a no-op and the override's store is the one to fill.
     installPlanStore(spec.store);
     const std::shared_ptr<PlanStore> store =
-        PlanCache::instance().store();
+        PlanCache::instance().effectiveStore();
 
     const std::size_t variants = spec.symmetrized ? 2 : 1;
     std::vector<PrepareResult> results(spec.datasets.size() * variants);

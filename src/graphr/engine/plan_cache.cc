@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/checksum.hh"
 #include "common/failpoint.hh"
 #include "common/logging.hh"
 #include "perf/counters.hh"
@@ -11,6 +12,20 @@
 namespace graphr
 {
 
+namespace
+{
+
+/**
+ * The thread's request-scoped store override. A plain pointer pair
+ * (value + active flag) rather than a thread_local shared_ptr with a
+ * non-trivial destructor: the RAII guard owns the shared_ptr, the TLS
+ * slot only borrows it for the guard's lifetime.
+ */
+thread_local const std::shared_ptr<PlanStore> *t_storeOverride =
+    nullptr;
+
+} // namespace
+
 PlanCache &
 PlanCache::instance()
 {
@@ -18,11 +33,43 @@ PlanCache::instance()
     return cache;
 }
 
+PlanCache::ScopedStoreOverride::ScopedStoreOverride(
+    std::shared_ptr<PlanStore> store)
+{
+    GRAPHR_ASSERT(t_storeOverride == nullptr,
+                  "nested PlanCache store overrides are not supported");
+    // The override lives exactly as long as this guard; storing the
+    // address of a heap copy keeps the TLS slot trivially destructible.
+    t_storeOverride =
+        new std::shared_ptr<PlanStore>(std::move(store));
+}
+
+PlanCache::ScopedStoreOverride::~ScopedStoreOverride()
+{
+    delete t_storeOverride;
+    t_storeOverride = nullptr;
+}
+
+bool
+PlanCache::storeOverrideActive()
+{
+    return t_storeOverride != nullptr;
+}
+
+std::shared_ptr<PlanStore>
+PlanCache::effectiveStore() const
+{
+    if (t_storeOverride != nullptr)
+        return *t_storeOverride;
+    return store();
+}
+
 std::size_t
 PlanCache::KeyHash::operator()(const Key &key) const
 {
     // The fingerprint is already well mixed; fold the tiling in.
     std::uint64_t h = key.fingerprint;
+    h ^= key.storeNamespace * 0xff51afd7ed558ccdull;
     h ^= (static_cast<std::uint64_t>(key.crossbarDim) << 0) ^
          (static_cast<std::uint64_t>(key.crossbarsPerGe) << 16) ^
          (static_cast<std::uint64_t>(key.numGe) << 32) ^
@@ -50,10 +97,23 @@ PlanCache::get(const CooGraph &graph, const TilingParams &tiling,
                bool *cache_hit)
 {
     const std::uint64_t fingerprint = graphFingerprint(graph);
-    const Key key{fingerprint, tiling.crossbarDim,
-                  tiling.crossbarsPerGe, tiling.numGe, tiling.blockSize};
-    // Snapshot once: the factory runs outside every cache lock.
-    const std::shared_ptr<PlanStore> store = this->store();
+    // Snapshot once: the factory runs outside every cache lock. Under
+    // a request-scoped override (tenant namespace) the entry is keyed
+    // by the overriding store's directory too, so tenants never share
+    // a memory entry one of them could have seeded from its own
+    // artifact directory.
+    const std::shared_ptr<PlanStore> store = effectiveStore();
+    const std::uint64_t ns =
+        storeOverrideActive() && store != nullptr
+            ? fnv1a64(store->directory().data(),
+                      store->directory().size())
+            : 0;
+    const Key key{fingerprint,
+                  ns,
+                  tiling.crossbarDim,
+                  tiling.crossbarsPerGe,
+                  tiling.numGe,
+                  tiling.blockSize};
     bool hit = false;
     TilePlanPtr plan = cache_.getOrBuild(
         key,

@@ -72,6 +72,40 @@ class PlanCache
     std::shared_ptr<PlanStore> store() const;
 
     /**
+     * Request-scoped store override (tenant namespaces). While an
+     * instance is alive on a thread, get() consults the overriding
+     * store instead of the process-wide one AND keys memory entries
+     * under that store's namespace, so two tenants running the same
+     * graph never share a plan that one of them could have poisoned
+     * via its own artifact directory. installPlanStore() becomes a
+     * no-op on the thread — the request-scoped store wins over any
+     * spec-carried directory.
+     *
+     * Strictly thread-local and non-reentrant (one override per
+     * thread at a time); graphr_serve's worker tasks are the intended
+     * scope. The override applies only to PlanCache::get calls made
+     * on this thread — code that fans further work across its own
+     * pool must snapshot effectiveStore() first.
+     */
+    class ScopedStoreOverride
+    {
+      public:
+        explicit ScopedStoreOverride(std::shared_ptr<PlanStore> store);
+        ~ScopedStoreOverride();
+
+        ScopedStoreOverride(const ScopedStoreOverride &) = delete;
+        ScopedStoreOverride &
+        operator=(const ScopedStoreOverride &) = delete;
+    };
+
+    /** True while this thread runs under a ScopedStoreOverride. */
+    static bool storeOverrideActive();
+
+    /** The store get() would consult on this thread: the thread's
+     *  override when active, the process-wide store otherwise. */
+    std::shared_ptr<PlanStore> effectiveStore() const;
+
+    /**
      * Drop every entry and reset the statistics (the store, if any,
      * stays attached). Plans are shared_ptrs, so entries still held
      * by running executors remain valid after eviction.
@@ -100,6 +134,10 @@ class PlanCache
     struct Key
     {
         std::uint64_t fingerprint = 0;
+        /** 0 for the process-wide store; a hash of the overriding
+         *  store's directory under a ScopedStoreOverride, so tenant
+         *  plans occupy disjoint memory entries. */
+        std::uint64_t storeNamespace = 0;
         std::uint32_t crossbarDim = 0;
         std::uint32_t crossbarsPerGe = 0;
         std::uint32_t numGe = 0;

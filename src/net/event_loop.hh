@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The multi-client connection layer of graphr_serve.
+ *
+ * One EventLoop thread multiplexes the listening socket and up to
+ * maxConnections established client connections with poll(2). Each
+ * connection owns a LineBuffer (bounded-memory JSONL framing) and one
+ * service::Server Session; the loop frames lines, dispatches them
+ * round-robin — one line per connection per pass, so a connection
+ * that arrived with a hundred buffered requests cannot get them all
+ * admitted before its siblings get one — and ships the Session's
+ * admission-ordered responses back out through a per-connection
+ * outbound buffer.
+ *
+ * Threading: run() owns all connection state and is the only caller
+ * of socket syscalls. Worker threads deliver responses through each
+ * session's sink, which appends to the connection's inbox under the
+ * loop mutex and wakes the loop via a self-pipe — the loop thread
+ * never blocks on a socket and workers never touch one.
+ *
+ * Backpressure is applied at the socket: a connection whose client
+ * stops draining responses (outbound bytes beyond the cap) or whose
+ * framed-line backlog is full stops being polled for reads; bytes
+ * queue in the kernel and eventually in the client, not in the
+ * daemon. Admission-level overload (queue depths) is the Server's
+ * job and arrives as structured rejections, not as blocking.
+ *
+ * Shutdown (SIGTERM/SIGINT -> Server::requestStop): the listener
+ * closes at receipt — stop accepting — established connections
+ * dispatch the complete lines they have already framed, in-flight
+ * requests finish and flush, then each connection closes and run()
+ * returns. An unterminated trailing fragment is dropped, exactly like
+ * the blocking reader's stop path.
+ *
+ * Fault injection: net.accept.fail (transient, listener), and
+ * net.conn.read.fail / net.conn.write.fail (fatal for that one
+ * connection: it is closed cleanly, its in-flight work completes and
+ * is discarded, and sibling connections are untouched — the chaos
+ * suite asserts their streams stay byte-identical).
+ */
+
+#ifndef GRAPHR_NET_EVENT_LOOP_HH
+#define GRAPHR_NET_EVENT_LOOP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "net/line_buffer.hh"
+#include "net/listener.hh"
+#include "service/server.hh"
+
+namespace graphr::net
+{
+
+struct EventLoopOptions
+{
+    /** Simultaneous established connections; beyond this the
+     *  listener is simply not polled, so extra clients wait in the
+     *  kernel backlog instead of being turned away. */
+    std::size_t maxConnections = 64;
+    /** Longest accepted request line (the LineBuffer cap); mirror
+     *  the server's maxLineBytes. */
+    std::size_t maxLineBytes = 1 << 20;
+    /** Stop reading a connection whose un-sent response bytes exceed
+     *  this — the client is not draining. */
+    std::size_t maxOutboundBytes = 1 << 20;
+    /** Stop reading a connection holding this many framed,
+     *  not-yet-dispatched lines. */
+    std::size_t maxPendingLines = 256;
+};
+
+/** Counters the loop keeps about its own lifetime (fault-free runs
+ *  leave the fault counters at zero). */
+struct EventLoopStats
+{
+    std::uint64_t accepted = 0;    ///< connections accepted
+    std::uint64_t readFaults = 0;  ///< connections torn down on read
+    std::uint64_t writeFaults = 0; ///< connections torn down on write
+};
+
+/** One poll(2) loop serving many connections over one Server. */
+class EventLoop
+{
+  public:
+    /** @p log receives accept/teardown diagnostics (stderr in the
+     *  daemon). Throws driver::DriverError if the self-pipe cannot
+     *  be created. */
+    EventLoop(service::Server &server, Listener &listener,
+              const EventLoopOptions &options, std::ostream &log);
+
+    ~EventLoop();
+
+    EventLoop(const EventLoop &) = delete;
+    EventLoop &operator=(const EventLoop &) = delete;
+
+    /**
+     * Serve until the server's stop flag is set and every connection
+     * has drained. Call from exactly one thread; wake() is the only
+     * other entry point that is safe concurrently.
+     */
+    void run();
+
+    /** Nudge a run() blocked in poll() (self-pipe write; safe from
+     *  any thread, including under the server mutex). */
+    void wake();
+
+    EventLoopStats stats() const;
+
+  private:
+    struct Connection;
+
+    void acceptPending();
+    /** Read every readable connection (one recv per connection per
+     *  pass — fairness starts at the socket). */
+    void readConnection(Connection &conn);
+    /** Round-robin dispatch: one framed line per live connection per
+     *  pass until every backlog is empty. */
+    void dispatchLines();
+    /** Move sink-delivered bytes into the send buffer and write what
+     *  the socket accepts. */
+    void flushConnection(Connection &conn);
+    void teardown(Connection &conn, const char *why);
+    void reapFinished();
+
+    service::Server &server_;
+    Listener &listener_;
+    EventLoopOptions options_;
+    std::ostream &log_;
+
+    int wakeRead_ = -1;  ///< self-pipe read end (polled)
+    int wakeWrite_ = -1; ///< self-pipe write end (wake() target)
+
+    std::vector<std::unique_ptr<Connection>> conns_;
+    std::size_t cursor_ = 0; ///< round-robin dispatch start
+    bool stopping_ = false;
+
+    mutable std::mutex mutex_; ///< guards inbox bytes and stats_
+    EventLoopStats stats_;
+};
+
+} // namespace graphr::net
+
+#endif // GRAPHR_NET_EVENT_LOOP_HH

@@ -1,16 +1,23 @@
 #include "suite.hh"
 
 #include <algorithm>
+#include <array>
 #include <filesystem>
+#include <numeric>
 #include <sstream>
+#include <thread>
 #include <utility>
+#include <vector>
 
+#include "client/client.hh"
 #include "common/json.hh"
 #include "driver/dataset.hh"
 #include "driver/driver.hh"
 #include "driver/golden_cache.hh"
 #include "graphr/engine/plan_cache.hh"
 #include "common/random.hh"
+#include "net/event_loop.hh"
+#include "net/listener.hh"
 #include "perf/bench.hh"
 #include "rram/crossbar.hh"
 #include "rram/simd/simd.hh"
@@ -303,6 +310,95 @@ serveScenario(SuiteBuilder &b, const std::string &prefix,
 }
 
 /**
+ * The concurrent-serving scenario: one daemon (Server + src/net/
+ * event loop on an ephemeral loopback port), C closed-loop client
+ * connections each sending R run requests through src/client/. The
+ * timed window covers a whole burst — connect, C x R requests,
+ * disconnect — so it exercises accept, round-robin dispatch and the
+ * per-connection response ordering end to end. Wall p50/p99 are the
+ * ungated trajectory; the gate keys on the deterministic work
+ * metrics: ok responses per connection (every request must be
+ * answered ok) and the per-connection fairness spread (zero under
+ * identical closed-loop clients).
+ */
+void
+concurrentServeScenario(SuiteBuilder &b, const std::string &prefix,
+                        const std::string &dataset_spec,
+                        unsigned connections, unsigned requests)
+{
+    service::ServeOptions options;
+    options.jobs = 2;
+    options.connQueueDepth = 8;
+    service::Server server(options);
+    std::ostringstream net_log; // accept/teardown noise stays out of
+                                // the bench progress stream
+    net::Listener listener(0, net_log);
+    net::EventLoopOptions loop_opts;
+    loop_opts.maxConnections = connections;
+    net::EventLoop loop(server, listener, loop_opts, net_log);
+    std::thread loop_thread([&loop] { loop.run(); });
+
+    const std::string request_tmpl =
+        "{\"id\":\"%ID%\",\"type\":\"run\",\"workload\":\"pagerank\","
+        "\"backend\":\"outofcore\",\"dataset\":\"" +
+        dataset_spec + "\"}";
+    std::vector<std::uint64_t> conn_ok(connections, 0);
+    const int port = listener.port();
+    const auto burst = [&] {
+        std::fill(conn_ok.begin(), conn_ok.end(), 0);
+        std::vector<std::thread> clients;
+        clients.reserve(connections);
+        for (unsigned c = 0; c < connections; ++c) {
+            clients.emplace_back([&, c] {
+                try {
+                    client::Client cl(port);
+                    for (unsigned r = 0; r < requests; ++r) {
+                        std::string req = request_tmpl;
+                        req.replace(req.find("%ID%"), 4,
+                                    "c" + std::to_string(c) + "-r" +
+                                        std::to_string(r));
+                        const std::string resp = cl.request(req);
+                        if (resp.find("\"ok\":true") !=
+                            std::string::npos)
+                            ++conn_ok[c];
+                    }
+                } catch (const client::ClientError &) {
+                    // Leave this connection's ok count short: the
+                    // gated requests-per-connection metric then
+                    // fails the comparison loudly.
+                }
+            });
+        }
+        for (std::thread &t : clients)
+            t.join();
+    };
+
+    const RepStats stats = b.timed(prefix + ".wall_s", burst);
+    std::vector<double> sorted = stats.seconds;
+    std::sort(sorted.begin(), sorted.end());
+    b.scalar(prefix + ".p50_s", quantileSorted(sorted, 0.5), "s",
+             false);
+    b.scalar(prefix + ".p99_s", quantileSorted(sorted, 0.99), "s",
+             false);
+
+    const auto [lo, hi] =
+        std::minmax_element(conn_ok.begin(), conn_ok.end());
+    const std::uint64_t total = std::accumulate(
+        conn_ok.begin(), conn_ok.end(), std::uint64_t{0});
+    b.scalar(prefix + ".requests_per_conn",
+             static_cast<double>(total) /
+                 static_cast<double>(connections),
+             "count", true, "higher");
+    b.scalar(prefix + ".fairness_spread",
+             static_cast<double>(*hi - *lo), "count", true);
+
+    server.requestStop();
+    loop.wake();
+    loop_thread.join();
+    dropCaches();
+}
+
+/**
  * The crossbar MVM scenario: the SIMD-dispatched exact datapath on a
  * half-occupied crossbar. Wall-clock is the ungated trajectory (it
  * moves with the host's best kernel tier); the gate keys on the
@@ -383,6 +479,9 @@ suiteSmall(SuiteBuilder &b)
                   "rmat:vertices=2048,edges=16384,seed=7");
     serveScenario(b, "serve.small",
                   "rmat:vertices=1024,edges=8192,seed=5");
+    concurrentServeScenario(b, "serve.concurrent",
+                            "rmat:vertices=1024,edges=8192,seed=5",
+                            /*connections=*/4, /*requests=*/4);
 }
 
 /** Developer-scale driver sweep: the full 6x6 matrix. */
@@ -417,6 +516,9 @@ suiteServe(SuiteBuilder &b)
 {
     serveScenario(b, "serve.medium",
                   "rmat:vertices=16384,edges=131072,seed=5");
+    concurrentServeScenario(b, "serve.concurrent_medium",
+                            "rmat:vertices=16384,edges=131072,seed=5",
+                            /*connections=*/8, /*requests=*/8);
 }
 
 struct SuiteEntry

@@ -14,9 +14,25 @@ namespace
 {
 
 /** Members the request envelope owns; spec parsing skips them. */
-const std::vector<std::string> kEnvelopeKeys = {"id", "type"};
+const std::vector<std::string> kEnvelopeKeys = {"id", "type",
+                                                "tenant"};
 
 } // namespace
+
+bool
+validTenantName(const std::string &name)
+{
+    if (name.empty() || name.size() > 64)
+        return false;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
 
 ParsedLine
 parseRequestLine(const std::string &line)
@@ -55,6 +71,26 @@ parseRequestLine(const std::string &line)
         return parsed;
     }
     const std::string &name = type->asString();
+
+    // The tenant namespace rides on work requests only (status
+    // reports every tenant, so a tenant-scoped status would lie).
+    if (const JsonValue *tenant = root.find("tenant");
+        tenant != nullptr) {
+        if (name == "status") {
+            parsed.error =
+                "status is not tenant-scoped (it reports every "
+                "tenant); drop the 'tenant' member";
+            return parsed;
+        }
+        if (!tenant->isString() ||
+            !validTenantName(tenant->asString())) {
+            parsed.error =
+                "'tenant' must be 1-64 characters from [A-Za-z0-9_-] "
+                "(it names the <plan-dir> subdirectory)";
+            return parsed;
+        }
+        parsed.request.tenant = tenant->asString();
+    }
 
     try {
         if (name == "run") {

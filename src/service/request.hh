@@ -51,11 +51,25 @@ struct Request
 {
     std::string id;
     RequestType type = RequestType::kRun;
+    /**
+     * Optional tenant namespace for work requests: plan artifacts
+     * live under `<plan-dir>/<tenant>/`. Validated by
+     * validTenantName() at parse time, so a stored tenant can never
+     * escape the plan directory. Empty = the daemon-wide namespace.
+     */
+    std::string tenant;
     /** Run/sweep payload (datasets list drives batching). */
     driver::SweepSpec sweep;
     /** Prepare payload (store/jobs are filled in by the server). */
     driver::PrepareSpec prepare;
 };
+
+/**
+ * Whether @p name is a safe tenant namespace: 1-64 characters from
+ * [A-Za-z0-9_-] only. No dots and no separators means no ".."
+ * traversal, no absolute paths and no hidden files by construction.
+ */
+bool validTenantName(const std::string &name);
 
 /** Outcome of parsing one JSONL line. */
 struct ParsedLine

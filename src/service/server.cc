@@ -1,6 +1,8 @@
 #include "server.hh"
 
+#include <algorithm>
 #include <exception>
+#include <optional>
 #include <sstream>
 
 #include "common/json.hh"
@@ -99,7 +101,7 @@ Server::Server(const ServeOptions &options)
 
 Server::~Server()
 {
-    drain();
+    drainAll();
     PlanCache::instance().setStore(nullptr);
 }
 
@@ -110,12 +112,41 @@ Server::counters() const
     return counters_;
 }
 
+Server::SessionPtr
+Server::openSession(ResponseSink sink)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SessionPtr session(new Session(nextSessionId_++, std::move(sink)));
+    sessions_.push_back(session);
+    ++totalSessions_;
+    return session;
+}
+
+void
+Server::closeSession(const SessionPtr &session)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!session->open_)
+        return;
+    session->open_ = false;
+    session->sink_ = nullptr;
+    sessions_.erase(
+        std::remove(sessions_.begin(), sessions_.end(), session),
+        sessions_.end());
+}
+
 void
 Server::serve(std::istream &in, std::ostream &out)
 {
+    const SessionPtr session =
+        openSession([&out](std::string &&line) {
+            // One line per response, flushed immediately so pipelined
+            // clients see answers as they drain, not at EOF.
+            out << line << '\n' << std::flush;
+        });
     {
         const std::lock_guard<std::mutex> lock(mutex_);
-        out_ = &out;
+        session->blockingReader_ = true;
     }
     std::string line;
     bool complete = false;
@@ -130,106 +161,174 @@ Server::serve(std::istream &in, std::ostream &out)
         if (!complete && stop_.load())
             break;
         if (oversized) {
-            handleOversizedLine();
+            handleOversizedLine(session);
             continue;
         }
         const std::string request = trimmed(line);
         if (!request.empty())
-            handleLine(request);
+            handleLine(session, request);
     }
-    drain();
-    const std::lock_guard<std::mutex> lock(mutex_);
-    out_ = nullptr;
+    drainSession(*session);
+    closeSession(session);
 }
 
 void
-Server::handleLine(const std::string &line)
+Server::handleLine(const SessionPtr &session, const std::string &line)
 {
     const ParsedLine parsed = parseRequestLine(line);
     const std::chrono::steady_clock::time_point admitted_at =
         std::chrono::steady_clock::now();
 
     std::unique_lock<std::mutex> lock(mutex_);
-    // Backpressure: responses flush in admission order, so a slow
-    // in-flight request makes later (even immediate) responses
-    // buffer in ready_. Cap that buffer at the admission depth by
-    // pausing the reader — a flood of malformed or rejected lines
-    // then blocks on the socket instead of growing daemon memory.
-    idle_.wait(lock, [this] {
-        return ready_.size() <= options_.queueDepth;
-    });
-    const std::uint64_t seq = nextSeq_++;
+    Session &sess = *session;
+    // Backpressure for blocking readers: responses flush in admission
+    // order, so a slow in-flight request makes later (even immediate)
+    // responses buffer in ready_. Cap that buffer at the admission
+    // depth by pausing the reader — a flood of malformed or rejected
+    // lines then blocks on the pipe instead of growing daemon memory.
+    // Event-loop sessions skip this (the loop thread must never
+    // sleep); they apply backpressure at the socket via
+    // sessionBacklog() instead.
+    if (sess.blockingReader_) {
+        idle_.wait(lock, [this, &sess] {
+            return sess.ready_.size() <= options_.queueDepth;
+        });
+    }
+    const std::uint64_t seq = sess.nextSeq_++;
 
     if (!parsed.ok) {
         ++counters_.invalid;
+        ++sess.counters_.invalid;
         bump("serve.invalid");
-        respondImmediate(seq, errorResponse(parsed.request.id,
-                                            parsed.error));
+        respondImmediate(sess, seq,
+                         errorResponse(parsed.request.id,
+                                       parsed.error));
         return;
     }
     const Request &request = parsed.request;
 
     if (request.type == RequestType::kStatus) {
-        // Status is a barrier: drain everything admitted before it so
-        // its counters and cache statistics are deterministic.
+        // Status is a barrier: drain everything admitted before it
+        // (on every session) so its counters and cache statistics are
+        // deterministic.
         idle_.wait(lock, [this] { return outstanding_ == 0; });
-        ready_.emplace(seq, statusTextLocked(request.id));
-        flushLocked();
+        sess.ready_.emplace(seq, statusTextLocked(request.id));
+        flushSessionLocked(sess);
         return;
     }
 
-    // Bounded admission: beyond queueDepth outstanding requests the
-    // caller gets a structured rejection, never a silent drop.
+    // Bounded admission, twice: beyond queueDepth outstanding
+    // requests across all sessions — or connQueueDepth on this one —
+    // the caller gets a structured rejection, never a silent drop.
+    // The per-connection quota is checked second so a greedy
+    // connection's rejections name its own bound, not the global one.
     if (outstanding_ >= options_.queueDepth) {
         ++counters_.rejected;
+        ++sess.counters_.rejected;
         bump("serve.rejected");
         respondImmediate(
-            seq, errorResponse(
-                     request.id,
-                     "queue full (" + std::to_string(outstanding_) +
-                         " outstanding, depth " +
-                         std::to_string(options_.queueDepth) +
-                         "); retry after a response drains"));
+            sess, seq,
+            errorResponse(
+                request.id,
+                "queue full (" + std::to_string(outstanding_) +
+                    " outstanding, depth " +
+                    std::to_string(options_.queueDepth) +
+                    "); retry after a response drains"));
         return;
+    }
+    if (options_.connQueueDepth != 0 &&
+        sess.outstanding_ >= options_.connQueueDepth) {
+        ++counters_.rejected;
+        ++sess.counters_.rejected;
+        bump("serve.rejected");
+        respondImmediate(
+            sess, seq,
+            errorResponse(
+                request.id,
+                "connection queue full (" +
+                    std::to_string(sess.outstanding_) +
+                    " outstanding on this connection, depth " +
+                    std::to_string(options_.connQueueDepth) +
+                    "); retry after a response drains"));
+        return;
+    }
+
+    // Tenant namespace resolution. A failure (daemon has no store, or
+    // the tenant subdirectory is unusable) is an answered request —
+    // admitted then failed — not an admission rejection: the caller
+    // asked something well-formed that this daemon cannot honour.
+    std::shared_ptr<PlanStore> tenantStore;
+    if (!request.tenant.empty()) {
+        try {
+            tenantStore = tenantStoreLocked(request.tenant);
+        } catch (const std::exception &err) {
+            ++counters_.admitted;
+            ++counters_.failed;
+            ++sess.counters_.admitted;
+            ++sess.counters_.failed;
+            bump("serve.admitted");
+            bump("serve.failed");
+            respondImmediate(
+                sess, seq, errorResponse(request.id, err.what()));
+            return;
+        }
     }
 
     if (request.type == RequestType::kPrepare) {
         if (options_.store.planDir.empty()) {
             ++counters_.admitted;
             ++counters_.failed;
+            ++sess.counters_.admitted;
+            ++sess.counters_.failed;
             bump("serve.admitted");
             bump("serve.failed");
             respondImmediate(
-                seq, errorResponse(request.id,
-                                   "prepare needs a plan store: start "
-                                   "graphr_serve with --plan-dir"));
+                sess, seq,
+                errorResponse(request.id,
+                              "prepare needs a plan store: start "
+                              "graphr_serve with --plan-dir"));
             return;
         }
         ++counters_.admitted;
+        ++sess.counters_.admitted;
         ++outstanding_;
+        ++sess.outstanding_;
         bump("serve.admitted");
         perf::Registry::instance()
             .counter("serve.queue_depth_peak")
             .recordMax(outstanding_);
         driver::PrepareSpec spec = request.prepare;
         spec.store = options_.store;
+        if (tenantStore)
+            spec.store.planDir = tenantStore->directory();
         spec.jobs = 1; // request-level concurrency comes from the pool
-        pool_.submit([this, seq, id = request.id, spec, admitted_at] {
+        pool_.submit([this, session, seq, id = request.id, spec,
+                      admitted_at, tenant = request.tenant,
+                      tenantStore] {
+            // Bind this worker thread to the tenant's store for the
+            // whole request: PlanCache::get and installPlanStore both
+            // honour the override, so nothing the request does can
+            // touch another tenant's artifacts.
+            std::optional<PlanCache::ScopedStoreOverride> scope;
+            if (tenantStore)
+                scope.emplace(tenantStore);
             if (deadlineExpired(admitted_at)) {
                 // Expired while queued: skip the work entirely (the
                 // finishJob override writes the timeout response).
-                finishJob(seq, id, std::string(), false, admitted_at);
+                finishJob(session, seq, id, std::string(), false,
+                          admitted_at, tenant);
                 return;
             }
             try {
-                finishJob(seq, id,
+                finishJob(session, seq, id,
                           prepareResponse(id,
                                           driver::runPrepare(spec,
                                                              nullptr)),
-                          true, admitted_at);
+                          true, admitted_at, tenant);
             } catch (const std::exception &err) {
-                finishJob(seq, id, errorResponse(id, err.what()),
-                          false, admitted_at);
+                finishJob(session, seq, id,
+                          errorResponse(id, err.what()), false,
+                          admitted_at, tenant);
             }
         });
         return;
@@ -242,7 +341,9 @@ Server::handleLine(const std::string &line)
     // admission order via the seq-ordered flush, and a failing
     // request answers alone without touching its neighbours.
     ++counters_.admitted;
+    ++sess.counters_.admitted;
     ++outstanding_;
+    ++sess.outstanding_;
     bump("serve.admitted");
     perf::Registry::instance()
         .counter("serve.queue_depth_peak")
@@ -252,48 +353,79 @@ Server::handleLine(const std::string &line)
     spec.jobs = 1; // request-level concurrency comes from the pool
     const char *type =
         request.type == RequestType::kRun ? "run" : "sweep";
-    pool_.submit([this, seq, id = request.id, spec, type,
-                  admitted_at] {
+    pool_.submit([this, session, seq, id = request.id, spec, type,
+                  admitted_at, tenant = request.tenant, tenantStore] {
+        std::optional<PlanCache::ScopedStoreOverride> scope;
+        if (tenantStore)
+            scope.emplace(tenantStore);
         if (deadlineExpired(admitted_at)) {
             // Expired while queued: skip the work entirely (the
             // finishJob override writes the timeout response).
-            finishJob(seq, id, std::string(), false, admitted_at);
+            finishJob(session, seq, id, std::string(), false,
+                      admitted_at, tenant);
             return;
         }
         try {
-            finishJob(seq, id,
+            finishJob(session, seq, id,
                       resultsResponse(id, type,
                                       driver::runSweep(spec, nullptr)),
-                      true, admitted_at);
+                      true, admitted_at, tenant);
         } catch (const std::exception &err) {
-            finishJob(seq, id, errorResponse(id, err.what()), false,
-                      admitted_at);
+            finishJob(session, seq, id, errorResponse(id, err.what()),
+                      false, admitted_at, tenant);
         }
     });
 }
 
 void
-Server::handleOversizedLine()
+Server::handleOversizedLine(const SessionPtr &session)
 {
     std::unique_lock<std::mutex> lock(mutex_);
+    Session &sess = *session;
     // Same backpressure as handleLine: the error response still
     // occupies an admission-order slot in ready_.
-    idle_.wait(lock, [this] {
-        return ready_.size() <= options_.queueDepth;
-    });
-    const std::uint64_t seq = nextSeq_++;
+    if (sess.blockingReader_) {
+        idle_.wait(lock, [this, &sess] {
+            return sess.ready_.size() <= options_.queueDepth;
+        });
+    }
+    const std::uint64_t seq = sess.nextSeq_++;
     ++counters_.invalid;
+    ++sess.counters_.invalid;
     bump("serve.invalid");
     bump("serve.oversized");
     // The id would be somewhere in the discarded bytes; a null id is
     // the honest answer (request.hh renders empty as null).
     respondImmediate(
-        seq,
+        sess, seq,
         errorResponse("",
                       "request line exceeds the " +
                           std::to_string(options_.maxLineBytes) +
                           "-byte limit; split the request or raise "
                           "--max-line-bytes"));
+}
+
+std::size_t
+Server::sessionBacklog(const Session &session) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<std::size_t>(session.outstanding_) +
+           session.ready_.size();
+}
+
+void
+Server::drainSession(const Session &session)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock,
+               [&session] { return session.outstanding_ == 0; });
+}
+
+void
+Server::drainAll()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
 bool
@@ -306,10 +438,39 @@ Server::deadlineExpired(
            std::chrono::milliseconds(options_.requestTimeoutMs);
 }
 
+std::shared_ptr<PlanStore>
+Server::tenantStoreLocked(const std::string &tenant)
+{
+    if (options_.store.planDir.empty()) {
+        throw driver::DriverError(
+            "tenant namespaces need a plan store: start graphr_serve "
+            "with --plan-dir");
+    }
+    const auto it = tenantStores_.find(tenant);
+    if (it != tenantStores_.end())
+        return it->second;
+    // The name was validated at parse time ([A-Za-z0-9_-] only), so
+    // this path cannot escape the daemon's plan directory. The store
+    // stays attached for the server's lifetime — its statistics are
+    // cumulative, like the daemon-wide store's.
+    std::shared_ptr<PlanStore> store;
+    try {
+        store = std::make_shared<PlanStore>(options_.store.planDir +
+                                            "/" + tenant);
+    } catch (const StoreError &err) {
+        throw driver::DriverError(
+            std::string("cannot use tenant namespace '") + tenant +
+            "': " + err.what());
+    }
+    tenantStores_.emplace(tenant, store);
+    return store;
+}
+
 void
-Server::finishJob(std::uint64_t seq, const std::string &id,
-                  std::string text, bool ok,
-                  std::chrono::steady_clock::time_point admitted)
+Server::finishJob(const SessionPtr &session, std::uint64_t seq,
+                  const std::string &id, std::string text, bool ok,
+                  std::chrono::steady_clock::time_point admitted,
+                  const std::string &tenant)
 {
     // Latency is recorded outside the lock (the histogram is atomic):
     // admission to response-ready, per answered work request.
@@ -336,48 +497,54 @@ Server::finishJob(std::uint64_t seq, const std::string &id,
     }
 
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (timed_out)
+    Session &sess = *session;
+    if (timed_out) {
         ++counters_.timedOut;
-    else if (ok)
+        ++sess.counters_.timedOut;
+    } else if (ok) {
         ++counters_.completed;
-    else
+        ++sess.counters_.completed;
+    } else {
         ++counters_.failed;
-    ready_.emplace(seq, std::move(text));
+        ++sess.counters_.failed;
+    }
+    // Every answered work request counts as served for its tenant
+    // (completed, failed or timed out — the tenant's namespace did
+    // the work either way).
+    if (!tenant.empty())
+        ++tenantServed_[tenant];
+    sess.ready_.emplace(seq, std::move(text));
     --outstanding_;
-    flushLocked();
-    // Wakes the status barrier (outstanding_ may have hit zero) and
-    // the reader's backpressure wait (ready_ may have drained).
+    --sess.outstanding_;
+    flushSessionLocked(sess);
+    // Wakes the status barrier (outstanding_ may have hit zero), the
+    // drain waits and the blocking readers' backpressure wait (ready_
+    // may have drained).
     idle_.notify_all();
 }
 
 void
-Server::respondImmediate(std::uint64_t seq, std::string text)
+Server::respondImmediate(Session &session, std::uint64_t seq,
+                         std::string text)
 {
-    ready_.emplace(seq, std::move(text));
-    flushLocked();
+    session.ready_.emplace(seq, std::move(text));
+    flushSessionLocked(session);
 }
 
 void
-Server::flushLocked()
+Server::flushSessionLocked(Session &session)
 {
-    if (out_ == nullptr)
-        return;
-    for (auto it = ready_.find(nextFlush_); it != ready_.end();
-         it = ready_.find(nextFlush_)) {
-        // One line per response, flushed immediately so pipelined
-        // clients see answers as they drain, not at EOF.
-        (*out_) << it->second << '\n' << std::flush;
-        ready_.erase(it);
-        ++nextFlush_;
+    for (auto it = session.ready_.find(session.nextFlush_);
+         it != session.ready_.end();
+         it = session.ready_.find(session.nextFlush_)) {
+        // A closed session's responses are computed and counted, then
+        // discarded — the flush cursor still advances so drains
+        // terminate.
+        if (session.sink_)
+            session.sink_(std::move(it->second));
+        session.ready_.erase(it);
+        ++session.nextFlush_;
     }
-}
-
-void
-Server::drain()
-{
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [this] { return outstanding_ == 0; });
-    flushLocked();
 }
 
 std::string
@@ -399,10 +566,49 @@ Server::statusTextLocked(const std::string &id) const
         w.field("invalid", counters_.invalid);
         w.field("timed_out", counters_.timedOut);
         w.endObject();
+
+        // The connection layer: sessions currently open, in open
+        // order (ids are monotonic, so this is also conn-id order).
+        // Deterministic fault-free: a lone stdin client always reads
+        // active=1, total_accepted=1 and its own counters.
+        w.key("connections");
+        w.beginObject();
+        w.field("active",
+                static_cast<std::uint64_t>(sessions_.size()));
+        w.field("total_accepted", totalSessions_);
+        w.key("per_connection");
+        w.beginArray();
+        for (const SessionPtr &s : sessions_) {
+            w.beginObject();
+            w.field("conn", s->id_);
+            w.field("admitted", s->counters_.admitted);
+            w.field("rejected", s->counters_.rejected);
+            w.field("completed", s->counters_.completed);
+            w.field("failed", s->counters_.failed);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+
+        // Per-tenant answered-request counters, name-sorted (the
+        // backing map is ordered). Empty until a request carries a
+        // "tenant", so fault-free single-tenant runs stay byte-stable.
+        w.key("tenants");
+        w.beginObject();
+        for (const auto &[name, served] : tenantServed_) {
+            w.key(name);
+            w.beginObject();
+            w.field("served", served);
+            w.endObject();
+        }
+        w.endObject();
+
         w.field("jobs",
                 static_cast<std::uint64_t>(pool_.numThreads()));
         w.field("queue_depth",
                 static_cast<std::uint64_t>(options_.queueDepth));
+        w.field("conn_queue_depth",
+                static_cast<std::uint64_t>(options_.connQueueDepth));
         w.field("request_timeout_ms",
                 static_cast<std::uint64_t>(options_.requestTimeoutMs));
 

@@ -4,37 +4,52 @@
  *
  * A Server owns a worker pool and process-resident warm state (the
  * PlanCache with an optionally attached PlanStore, the golden-result
- * cache) and answers JSONL request streams: serve() reads requests
- * from a stream, executes them on the pool, and writes one response
- * line per request. The paper's offline/online split is what makes
- * this shape pay: the first request for a (graph x tiling) prepares
- * (or store-loads) the plan, every later one is sort-free.
+ * cache) and answers JSONL request streams. Since the connection
+ * layer (src/net/) arrived, a Server serves many streams at once:
+ * each client connection opens a Session — the per-connection unit of
+ * response ordering, admission quota and counters — and feeds it
+ * request lines; the Server fans the work across one shared pool and
+ * hands each Session its responses back in that session's admission
+ * order. The paper's offline/online split is what makes this shape
+ * pay: the first request for a (graph x tiling) prepares (or
+ * store-loads) the plan, every later one — from any connection — is
+ * sort-free.
  *
  * Scheduling model:
- *  - Admission is bounded: at most `queueDepth` requests may be
- *    outstanding (admitted, not yet answered); requests beyond that
- *    are rejected with a structured "queue full" error, never
- *    silently dropped.
+ *  - Admission is bounded twice: globally (at most `queueDepth`
+ *    requests outstanding across all sessions) and per session (at
+ *    most `connQueueDepth` outstanding per connection, when set).
+ *    The per-session quota is the fairness mechanism: one greedy
+ *    connection can fill its own quota and collect structured
+ *    "connection queue full" rejections, but it cannot occupy the
+ *    global depth and starve its siblings.
  *  - Every run/sweep/prepare request is one task on the worker
  *    pool (a run is the single-combination SweepSpec case), so a
  *    burst of requests fans across all --jobs workers; plan reuse
- *    across requests comes from the process-wide PlanCache, and a
- *    failing request answers alone without touching its neighbours.
- *  - Responses are written in admission order (completion order may
- *    differ), so a fixed request stream yields byte-identical
- *    run/sweep/prepare responses at any worker count (the status
- *    response's "jobs" field reports the actual worker count and is
- *    the one jobs-dependent byte).
- *  - "status" is a barrier: it drains everything admitted before it,
- *    then reports cache occupancy and served-request counters —
+ *    across requests and connections comes from the process-wide
+ *    PlanCache, and a failing request answers alone.
+ *  - Responses are written in per-session admission order
+ *    (completion order may differ), so a fixed request stream yields
+ *    byte-identical run/sweep/prepare responses at any --jobs and
+ *    regardless of what sibling connections are doing.
+ *  - A request may carry a "tenant" name: its plan artifacts then
+ *    live in `<plan-dir>/<tenant>/` (a per-tenant PlanStore namespace
+ *    with its own memory-cache namespace), so independent users
+ *    cannot poison each other's artifact store. Tenant names are
+ *    validated against path traversal at parse time.
+ *  - "status" is a barrier: it drains everything admitted before it
+ *    on every session, then reports cache occupancy, served-request
+ *    counters, the connections block and per-tenant counters —
  *    deterministic numbers, which the CI smoke relies on.
  *
- * Thread-safety: serve() is blocking and must be called from one
- *  thread at a time (sessions are sequential; warm state persists
- *  across them). requestStop() may be called from any thread or from
- *  a signal handler (it only stores a lock-free atomic); the current
- *  session then finishes in-flight work, flushes every pending
- *  response, and returns — the graceful-drain path for SIGTERM/EOF.
+ * Thread-safety: handleLine()/handleOversizedLine() for one Session
+ *  must be called from one thread at a time (the event loop or the
+ *  blocking serve() reader); different Sessions may be fed from
+ *  different threads. Sinks are invoked with the server mutex held,
+ *  from whatever thread completes the request — keep them cheap
+ *  (buffer-append) or accept the serialisation (stream write).
+ *  requestStop() may be called from any thread or from a signal
+ *  handler (it only stores a lock-free atomic).
  */
 
 #ifndef GRAPHR_SERVICE_SERVER_HH
@@ -44,14 +59,22 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <istream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "common/thread_pool.hh"
 #include "service/request.hh"
+
+namespace graphr
+{
+class PlanStore;
+}
 
 namespace graphr::service
 {
@@ -62,11 +85,20 @@ struct ServeOptions
     /** Worker threads executing requests (0 = hardware threads). */
     std::uint32_t jobs = 1;
     /**
-     * Max outstanding requests (admitted, not yet answered); further
-     * work requests get a structured "queue full" rejection. 0 means
-     * reject everything — useful only for tests.
+     * Max outstanding requests (admitted, not yet answered) across
+     * every session; further work requests get a structured "queue
+     * full" rejection. 0 means reject everything — useful only for
+     * tests.
      */
     std::uint32_t queueDepth = 256;
+    /**
+     * Max outstanding requests per session/connection (0 = no
+     * per-session quota, only the global bound applies — the
+     * single-client stdin default). The daemon's TCP mode sets this
+     * so one greedy connection saturates its own quota, not the
+     * global depth.
+     */
+    std::uint32_t connQueueDepth = 0;
     /**
      * Per-request wall-clock deadline in milliseconds (admission to
      * response; 0 = none). A request that misses it is answered with
@@ -86,11 +118,10 @@ struct ServeOptions
      */
     std::size_t maxLineBytes = 1 << 20;
     /**
-     * Daemon-wide plan store. Per-request plan directories are
-     * deliberately not part of the request grammar: the store hangs
-     * off the process-wide PlanCache, so switching it per request
-     * under concurrency would let requests detach each other's
-     * warm state.
+     * Daemon-wide plan store root. Per-request plan directories are
+     * deliberately not part of the request grammar; the one sanctioned
+     * form of per-request redirection is the validated "tenant" name,
+     * which selects the `<plan-dir>/<tenant>/` namespace.
      */
     StoreSpec store;
 };
@@ -101,7 +132,7 @@ struct ServeCounters
     std::uint64_t admitted = 0;  ///< work requests accepted
     std::uint64_t completed = 0; ///< answered with ok == true
     std::uint64_t failed = 0;    ///< admitted but answered with error
-    std::uint64_t rejected = 0;  ///< bounced by the admission bound
+    std::uint64_t rejected = 0;  ///< bounced by an admission bound
     std::uint64_t invalid = 0;   ///< malformed/oversized lines
     std::uint64_t timedOut = 0;  ///< missed the per-request deadline
 };
@@ -110,6 +141,16 @@ struct ServeCounters
 class Server
 {
   public:
+    class Session;
+    using SessionPtr = std::shared_ptr<Session>;
+    /**
+     * Receives one finished response line (no trailing newline) per
+     * call, in the session's admission order. Invoked with the server
+     * mutex held, possibly from a worker thread — must not call back
+     * into the Server.
+     */
+    using ResponseSink = std::function<void(std::string &&)>;
+
     /**
      * Construct the daemon: spins up the worker pool and attaches
      * options.store to the process-wide PlanCache (throws
@@ -125,17 +166,56 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /**
-     * Serve one request stream: read JSONL requests from @p in until
-     * EOF or requestStop(), answer each on @p out (one line per
-     * request, admission order, flushed per line). Returns after
-     * every admitted request has been answered. Call again with a new
-     * stream to serve the next connection on the same warm state.
+     * Serve one request stream on the calling thread: read JSONL
+     * requests from @p in until EOF or requestStop(), answer each on
+     * @p out (one line per request, admission order, flushed per
+     * line). Returns after every request this stream admitted has
+     * been answered. Implemented as one Session over the connection
+     * seam below; call again with a new stream to serve the next
+     * client on the same warm state.
      */
     void serve(std::istream &in, std::ostream &out);
 
+    // ------------------------------------------------ connection seam
+    // The multi-client surface src/net/EventLoop drives. One Session
+    // per client connection; the caller owns line framing (see
+    // net/line_buffer.hh) and feeds complete lines in.
+
+    /** Open a session: responses flow to @p sink in admission order.
+     *  Counted in the status "connections" block. */
+    SessionPtr openSession(ResponseSink sink);
+
     /**
-     * Ask the current serve() call to stop after the line it is
-     * processing and drain. Async-signal-safe (lock-free store).
+     * Close a session: its sink is dropped immediately (responses of
+     * still-running requests are computed, counted, then discarded)
+     * and it leaves the active set. Idempotent.
+     */
+    void closeSession(const SessionPtr &session);
+
+    /** Parse, validate, admit and dispatch one request line for a
+     *  session. Never blocks on I/O; may block on the status barrier
+     *  or (blocking sessions only) response backpressure. */
+    void handleLine(const SessionPtr &session, const std::string &line);
+
+    /** Answer a line the bounded reader refused (too long) with a
+     *  structured error in the session's admission slot. */
+    void handleOversizedLine(const SessionPtr &session);
+
+    /** Admitted-but-unanswered requests on this session — the event
+     *  loop's read-backpressure signal. */
+    std::size_t sessionBacklog(const Session &session) const;
+
+    /** Block until every request this session admitted is answered
+     *  (its sink has seen every line). */
+    void drainSession(const Session &session);
+
+    /** Block until every admitted request on every session is
+     *  answered — the shutdown barrier. */
+    void drainAll();
+
+    /**
+     * Ask every serving loop to stop after the line it is processing
+     * and drain. Async-signal-safe (lock-free store).
      */
     void requestStop() { stop_.store(true); }
 
@@ -148,54 +228,101 @@ class Server
     ServeCounters counters() const;
 
   private:
-    /** Parse, validate, admit and dispatch one request line. */
-    void handleLine(const std::string &line);
-
-    /** Answer a line the bounded reader refused (too long) with a
-     *  structured error in its admission slot. */
-    void handleOversizedLine();
-
     /** Whether @p admitted 's deadline has already passed (always
      *  false with requestTimeoutMs == 0). */
     bool deadlineExpired(
         std::chrono::steady_clock::time_point admitted) const;
 
     /**
-     * Record a response and flush everything now in order.
+     * Record a response and flush the session's in-order prefix.
      * @p admitted is the request's admission time: the admission ->
      * response latency is published into the perf counter registry
      * ("serve.request_ns"), which status reports as the cumulative
      * per-request latency summary. When the request missed its
      * deadline, @p text is replaced by the structured timeout error
-     * (@p id is needed for exactly that rewrite).
+     * (@p id is needed for exactly that rewrite). @p tenant, when
+     * non-empty, bumps that tenant's served counter.
      */
-    void finishJob(std::uint64_t seq, const std::string &id,
-                   std::string text, bool ok,
-                   std::chrono::steady_clock::time_point admitted);
-    void respondImmediate(std::uint64_t seq, std::string text);
-    void flushLocked();
+    void finishJob(const SessionPtr &session, std::uint64_t seq,
+                   const std::string &id, std::string text, bool ok,
+                   std::chrono::steady_clock::time_point admitted,
+                   const std::string &tenant);
+    void respondImmediate(Session &session, std::uint64_t seq,
+                          std::string text);
+    /** Push the session's ready in-order prefix into its sink.
+     *  Caller holds mutex_. */
+    void flushSessionLocked(Session &session);
+
+    /**
+     * The `<plan-dir>/<tenant>/` store namespace, created lazily and
+     * kept for the server's lifetime (stats stay cumulative). Caller
+     * holds mutex_. Throws StoreError when the directory is unusable
+     * and DriverError when the daemon has no store at all.
+     */
+    std::shared_ptr<PlanStore>
+    tenantStoreLocked(const std::string &tenant);
 
     /** Status payload; caller holds mutex_ and has drained. */
     std::string statusTextLocked(const std::string &id) const;
-
-    /** Block until every admitted request has been answered. */
-    void drain();
 
     ServeOptions options_;
     ThreadPool pool_;
     std::atomic<bool> stop_{false};
 
     mutable std::mutex mutex_;
-    std::condition_variable idle_; ///< outstanding_ hit zero
-    /** Admitted-but-unanswered work requests (the admission bound). */
+    std::condition_variable idle_; ///< outstanding work / buffers moved
+    /** Admitted-but-unanswered work requests across all sessions
+     *  (the global admission bound). */
     std::uint64_t outstanding_ = 0;
     ServeCounters counters_;
 
-    /** Response sequencing: seq -> response text once ready. */
-    std::uint64_t nextSeq_ = 0;
-    std::uint64_t nextFlush_ = 0;
+    /** Sessions still open, in open order (the status
+     *  "connections.per_connection" listing). */
+    std::vector<SessionPtr> sessions_;
+    std::uint64_t nextSessionId_ = 1;
+    std::uint64_t totalSessions_ = 0;
+
+    /** Tenant namespaces: `<plan-dir>/<tenant>/` stores (lazily
+     *  opened, kept attached) and per-tenant answered-request
+     *  counters, both keyed by the validated tenant name. */
+    std::map<std::string, std::shared_ptr<PlanStore>> tenantStores_;
+    std::map<std::string, std::uint64_t> tenantServed_;
+};
+
+/**
+ * One client connection's serving state: the per-connection request
+ * sequence, the admission-ordered response reorder buffer, the sink,
+ * and the per-connection counters the status "connections" block
+ * reports. Create via Server::openSession; all mutation goes through
+ * the Server (the Session itself is passive data).
+ */
+class Server::Session
+{
+  public:
+    /** Stable 1-based id, echoed as "conn" in status. */
+    std::uint64_t id() const { return id_; }
+
+  private:
+    friend class Server;
+
+    Session(std::uint64_t id, ResponseSink sink)
+        : id_(id), sink_(std::move(sink))
+    {
+    }
+
+    std::uint64_t id_;
+    ResponseSink sink_;      ///< dropped (nullptr) once closed
+    bool open_ = true;
+    /** Blocking sessions (the serve() reader) pause their reader when
+     *  the reorder buffer outgrows the queue depth; event-loop
+     *  sessions apply backpressure at the socket instead. */
+    bool blockingReader_ = false;
+
+    std::uint64_t outstanding_ = 0; ///< admitted, not yet answered
+    std::uint64_t nextSeq_ = 0;     ///< next admission slot
+    std::uint64_t nextFlush_ = 0;   ///< next slot the sink gets
     std::map<std::uint64_t, std::string> ready_;
-    std::ostream *out_ = nullptr;
+    ServeCounters counters_;
 };
 
 } // namespace graphr::service

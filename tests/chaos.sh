@@ -87,6 +87,10 @@ for site in $sites; do
       kind=erroring; mkdir -p "$plan_dir" ;;
     serve.read.eio|serve.write.eio)
       kind=session; mkdir -p "$plan_dir" ;;
+    net.accept.fail|net.conn.read.fail|net.conn.write.fail)
+      # Connection-layer sites: nothing on the --stdin path can reach
+      # them, so each gets a dedicated TCP scenario below.
+      continue ;;
     *)
       fail "unclassified failpoint site '$site' — extend tests/chaos.sh" ;;
   esac
@@ -158,5 +162,118 @@ grep -q '"id":null,"ok":false,"error":"request line exceeds' "$out" \
 if ! cmp -s "$workdir/baseline_work" <(work_lines "$out"); then
   fail "oversized scenario: later requests diverged"
 fi
+
+# ---------------------------------------------------------- TCP layer
+# The net.* sites live on the accept/read/write path of the TCP event
+# loop. Each scenario runs its own daemon on an ephemeral port with
+# the fault armed, drives it over /dev/tcp, and must end with a clean
+# SIGTERM exit — an injected connection fault may never take the
+# daemon (or a sibling connection) down with it.
+
+tcp_daemon_pid=""
+cleanup_tcp() {
+  if [ -n "$tcp_daemon_pid" ] && kill -0 "$tcp_daemon_pid" 2>/dev/null
+  then
+    kill -TERM "$tcp_daemon_pid" 2>/dev/null || true
+    wait "$tcp_daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup_tcp EXIT
+
+start_tcp_daemon() { # $1=site armed, $2=log file; sets tcp_daemon_pid
+  GRAPHR_FAILPOINTS="$1:1@1" "$serve_bin" --port 0 2> "$2" &
+  tcp_daemon_pid=$!
+}
+
+tcp_port() { # $1=log file; waits for and prints the logged port
+  local port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n \
+      's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+      "$1" | head -n 1)"
+    if [ -n "$port" ]; then echo "$port"; return 0; fi
+    kill -0 "$tcp_daemon_pid" 2>/dev/null || return 1
+    sleep 0.1
+  done
+  return 1
+}
+
+stop_tcp_daemon() { # $1=site (for the failure message)
+  kill -TERM "$tcp_daemon_pid"
+  wait "$tcp_daemon_pid" || fail "$1: daemon exited nonzero"
+  tcp_daemon_pid=""
+}
+
+read_responses() { # $1=fd, $2=count, $3=out file, $4=site
+  : > "$3"
+  local i line
+  for i in $(seq 1 "$2"); do
+    IFS= read -r -t 60 line <&"$1" \
+      || fail "$4: response $i timed out or the connection closed"
+    printf '%s\n' "$line" >> "$3"
+  done
+}
+
+# net.accept.fail is transient: it fails the accept(2) attempt before
+# the syscall, so the connection stays in the kernel backlog and the
+# next poll pass picks it up — the client only sees added latency.
+site=net.accept.fail
+log="$workdir/tcp_log_$site"
+start_tcp_daemon "$site" "$log"
+port="$(tcp_port "$log")" || fail "$site: daemon never listened"
+exec 3<>"/dev/tcp/127.0.0.1/$port" || fail "$site: connect refused"
+requests >&3
+read_responses 3 3 "$workdir/out_tcp_$site" "$site"
+exec 3<&- 3>&-
+if ! cmp -s "$workdir/baseline_work" \
+    <(work_lines "$workdir/out_tcp_$site"); then
+  fail "$site: responses diverged after the absorbed accept fault"
+fi
+grep -o '"robustness":{[^}]*}' "$workdir/out_tcp_$site" \
+    | grep -q '"failpoint.fires":0' \
+  && fail "$site: armed failpoint never fired"
+grep -q 'accept failed (injected fault)' "$log" \
+  || fail "$site: no retry diagnostic in the daemon log"
+stop_tcp_daemon "$site"
+echo "chaos: $site (tcp transient) ok"
+
+# net.conn.read.fail and net.conn.write.fail are fatal for the one
+# connection they hit: the victim gets a clean close (EOF, no partial
+# line), the daemon stays up, and a sibling connection served
+# afterwards must produce byte-identical work responses.
+for site in net.conn.read.fail net.conn.write.fail; do
+  log="$workdir/tcp_log_$site"
+  start_tcp_daemon "$site" "$log"
+  port="$(tcp_port "$log")" || fail "$site: daemon never listened"
+
+  # Victim first: its first read (or first response write) trips the
+  # armed fault and the daemon must close just this connection. The
+  # read below blocks until that close, so it doubles as the
+  # synchronisation point before the sibling connects.
+  exec 3<>"/dev/tcp/127.0.0.1/$port" || fail "$site: connect refused"
+  printf '%s\n' '{"id":"v1","type":"status"}' >&3
+  # A read-fault teardown closes with the request bytes unread, so
+  # the victim may see RST instead of FIN — either way, no response.
+  if IFS= read -r -t 60 line <&3 2>/dev/null; then
+    fail "$site: victim connection got a response despite the fault"
+  fi
+  exec 3<&- 3>&-
+  grep -q "closed" "$log" \
+    || fail "$site: no teardown diagnostic in the daemon log"
+
+  # Sibling afterwards: the fault is spent, the stream is untouched.
+  exec 4<>"/dev/tcp/127.0.0.1/$port" \
+    || fail "$site: sibling connect refused"
+  requests >&4
+  read_responses 4 3 "$workdir/out_tcp_$site" "$site"
+  exec 4<&- 4>&-
+  if ! cmp -s "$workdir/baseline_work" \
+      <(work_lines "$workdir/out_tcp_$site"); then
+    fail "$site: sibling responses diverged"
+  fi
+  stop_tcp_daemon "$site"
+  echo "chaos: $site (tcp connection-fatal) ok"
+done
 
 echo "serve chaos ok"

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Concurrent-serving smoke (run from ctest and CI): one graphr_serve
+# daemon on an ephemeral loopback port serving 8 simultaneous
+# graphr_loadgen connections x 50 requests each, then a graceful
+# SIGTERM. Asserts:
+#   1. every request is answered ok — zero errors, zero timeouts,
+#      zero transport failures across all 400 requests;
+#   2. admission is fair: the replay is closed-loop, so every
+#      connection must complete exactly its own 50 requests and the
+#      per-connection fairness spread must be 0 — no connection may
+#      be starved by its siblings;
+#   3. SIGTERM drains cleanly: the daemon exits 0.
+set -eu
+
+serve_bin="$1"
+loadgen_bin="$2"
+
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill -TERM "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() { echo "loadgen smoke: $*" >&2; exit 1; }
+
+# Two request templates, so the replay interleaves distinct plans and
+# the daemon's warm caches carry most of the load.
+cat > "$workdir/trace.jsonl" <<'EOF'
+{"type":"run","workload":"pagerank","backend":"outofcore","dataset":"rmat:vertices=128,edges=512,seed=3"}
+{"type":"run","workload":"wcc","backend":"graphr","dataset":"chain:n=64"}
+EOF
+
+"$serve_bin" --port 0 --jobs 2 2> "$workdir/serve.log" &
+daemon_pid=$!
+
+# --port 0 picks a free port and logs it; wait for the line.
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n \
+    's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+    "$workdir/serve.log" | head -n 1)"
+  [ -n "$port" ] && break
+  kill -0 "$daemon_pid" 2>/dev/null \
+    || fail "daemon died before listening: $(cat "$workdir/serve.log")"
+  sleep 0.1
+done
+[ -n "$port" ] || fail "daemon never reported its port"
+
+out="$("$loadgen_bin" --port "$port" --connections 8 --requests 50 \
+  --trace "$workdir/trace.jsonl" --timeout-ms 120000)" \
+  || fail "loadgen exited nonzero: $out"
+echo "$out"
+
+expect() { # substring the summary line must contain
+  echo "$out" | grep -qF "$1" || fail "expected $1 in: $out"
+}
+expect '"sent":400'
+expect '"ok":400'
+expect '"errors":0'
+expect '"timed_out":0'
+expect '"transport_failures":0'
+expect '"spread":0'
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || fail "daemon exited nonzero after SIGTERM"
+daemon_pid=""
+
+echo "loadgen smoke ok"

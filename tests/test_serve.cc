@@ -392,5 +392,140 @@ TEST_F(ServeTest, PrepareWritesArtifactsTheNextRunLoadsSortFree)
     fs::remove_all(dir);
 }
 
+TEST_F(ServeTest, TenantNameIsValidated)
+{
+    // The tenant names a <plan-dir> subdirectory, so the charset is
+    // traversal-proof by construction; status is not tenant-scoped.
+    const auto out = lines(serveText(
+        R"({"id":"a","type":"run","dataset":"chain:n=8","tenant":"../evil"})"
+        "\n"
+        R"({"id":"b","type":"run","dataset":"chain:n=8","tenant":""})"
+        "\n"
+        R"({"id":"c","type":"run","dataset":"chain:n=8","tenant":7})"
+        "\n"
+        R"({"id":"d","type":"status","tenant":"acme"})" "\n"));
+    ASSERT_EQ(out.size(), 4u);
+    expectError(out[0], "a", "'tenant' must be");
+    expectError(out[1], "b", "'tenant' must be");
+    expectError(out[2], "c", "'tenant' must be");
+    expectError(out[3], "d", "not tenant-scoped");
+}
+
+TEST_F(ServeTest, TenantNeedsADaemonPlanStore)
+{
+    const auto out = lines(serveText(
+        R"({"id":"a","type":"run","dataset":"chain:n=8","tenant":"acme"})"
+        "\n"));
+    ASSERT_EQ(out.size(), 1u);
+    expectError(out[0], "a", "--plan-dir");
+}
+
+TEST_F(ServeTest, TenantNamespacesIsolatePlansOnDiskAndInMemory)
+{
+    const fs::path dir = fs::path(::testing::TempDir()) / "tenant_plans";
+    fs::remove_all(dir);
+
+    service::ServeOptions options;
+    options.store.planDir = dir.string();
+    service::Server server(options);
+
+    const std::string dataset = "rmat:vertices=128,edges=1024,seed=9";
+    const auto runAs = [&](const std::string &id,
+                           const std::string &tenant) {
+        const auto out = lines(serveText(
+            server, "{\"id\":\"" + id + "\",\"type\":\"run\","
+                    "\"workload\":\"pagerank\","
+                    "\"backend\":\"outofcore\","
+                    "\"dataset\":\"" + dataset + "\","
+                    "\"tenant\":\"" + tenant + "\"}\n"));
+        EXPECT_EQ(out.size(), 1u);
+        EXPECT_TRUE(parsedResponse(out.at(0)).find("ok")->asBool())
+            << out.at(0);
+        return out.at(0);
+    };
+    const auto artifactCount = [](const fs::path &tenant_dir) {
+        std::size_t n = 0;
+        if (fs::is_directory(tenant_dir))
+            for (const auto &entry :
+                 fs::directory_iterator(tenant_dir))
+                n += entry.is_regular_file() ? 1 : 0;
+        return n;
+    };
+
+    // Cold run as acme: plan built (sorted) and saved under acme/.
+    const std::string acme_report = runAs("a1", "acme");
+    EXPECT_GT(artifactCount(dir / "acme"), 0u);
+
+    // Same plan as beta: the in-memory plan cache is namespaced per
+    // tenant store, so this must rebuild (sort again), never reuse
+    // acme's resident plan or load acme's artifact — and it saves
+    // its own copy under beta/.
+    const std::uint64_t sorts_after_acme =
+        OrderedEdgeList::sortsPerformed();
+    const std::string beta_report = runAs("b1", "beta");
+    EXPECT_GT(OrderedEdgeList::sortsPerformed(), sorts_after_acme)
+        << "beta reused acme's plan across the tenant boundary";
+    EXPECT_EQ(artifactCount(dir / "beta"),
+              artifactCount(dir / "acme"));
+
+    // The reports themselves are byte-identical apart from the id:
+    // isolation must not change results.
+    const auto strip_id = [](const std::string &text) {
+        return std::regex_replace(text, std::regex("\"id\":\"[^\"]*\""),
+                                  "\"id\":\"X\"");
+    };
+    EXPECT_EQ(strip_id(acme_report), strip_id(beta_report));
+
+    // Warm same-tenant restart: with the memory cache dropped, the
+    // acme run loads its own artifact sort-free.
+    PlanCache::instance().clear();
+    const std::uint64_t sorts_before_warm =
+        OrderedEdgeList::sortsPerformed();
+    runAs("a2", "acme");
+    EXPECT_EQ(OrderedEdgeList::sortsPerformed(), sorts_before_warm)
+        << "acme's warm run did not load from its own namespace";
+
+    // Status reports per-tenant served counters, name-sorted.
+    const auto status = lines(
+        serveText(server, "{\"id\":\"q\",\"type\":\"status\"}\n"));
+    ASSERT_EQ(status.size(), 1u);
+    const JsonValue v = parsedResponse(status[0]);
+    const JsonValue *tenants = v.find("tenants");
+    ASSERT_NE(tenants, nullptr);
+    ASSERT_EQ(tenants->members().size(), 2u);
+    EXPECT_EQ(tenants->members()[0].first, "acme");
+    EXPECT_EQ(tenants->members()[0].second.find("served")->asU64(),
+              2u);
+    EXPECT_EQ(tenants->members()[1].first, "beta");
+    EXPECT_EQ(tenants->members()[1].second.find("served")->asU64(),
+              1u);
+
+    fs::remove_all(dir);
+}
+
+TEST_F(ServeTest, StatusReportsTheStdinSessionInItsConnectionsBlock)
+{
+    // A lone blocking session is connection 1 of 1; every fault-free
+    // counter that can be zero must be zero.
+    service::Server server({});
+    const auto out = lines(serveText(
+        server, std::string(kRunRequest) + "\n" +
+                    "{\"id\":\"q\",\"type\":\"status\"}\n"));
+    ASSERT_EQ(out.size(), 2u);
+    const JsonValue v = parsedResponse(out[1]);
+    const JsonValue *conns = v.find("connections");
+    ASSERT_NE(conns, nullptr) << out[1];
+    EXPECT_EQ(conns->find("active")->asU64(), 1u);
+    EXPECT_EQ(conns->find("total_accepted")->asU64(), 1u);
+    const auto &per = conns->find("per_connection")->items();
+    ASSERT_EQ(per.size(), 1u);
+    EXPECT_EQ(per[0].find("conn")->asU64(), 1u);
+    EXPECT_EQ(per[0].find("admitted")->asU64(), 1u);
+    EXPECT_EQ(per[0].find("rejected")->asU64(), 0u);
+    EXPECT_EQ(per[0].find("completed")->asU64(), 1u);
+    EXPECT_EQ(per[0].find("failed")->asU64(), 0u);
+    EXPECT_TRUE(v.find("tenants")->members().empty());
+}
+
 } // namespace
 } // namespace graphr
