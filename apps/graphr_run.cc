@@ -24,6 +24,7 @@
  *   graphr_run bench compare BENCH_0.json BENCH_1.json --threshold 10
  */
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -32,10 +33,34 @@
 #include "driver/run_result.hh"
 #include "graphr/config.hh"
 #include "perf/compare.hh"
+#include "perf/counters.hh"
 #include "perf/suite.hh"
 
 namespace
 {
+
+/**
+ * With GRAPHR_PERF_DUMP set (non-empty, not "0"), print every
+ * process-wide perf counter to stderr on exit, one
+ * "perf-counter <name>=<value>" line each. Scripts (CI's warm-store
+ * smoke) grep these to assert work invariants like zero sorts on a
+ * warm load without parsing the JSON report.
+ */
+class PerfDumpGuard
+{
+  public:
+    ~PerfDumpGuard()
+    {
+        const char *env = std::getenv("GRAPHR_PERF_DUMP");
+        if (env == nullptr || env[0] == '\0' || env[0] == '0')
+            return;
+        for (const auto &[name, value] :
+             graphr::perf::Registry::instance().counterValues()) {
+            std::cerr << "perf-counter " << name << "=" << value
+                      << "\n";
+        }
+    }
+};
 
 /** Run a suite, print the table, optionally write BENCH json. */
 int
@@ -98,6 +123,7 @@ main(int argc, char **argv)
 {
     using namespace graphr::driver;
 
+    const PerfDumpGuard perf_dump;
     try {
         const CliOptions opts =
             parseCli(std::vector<std::string>(argv + 1, argv + argc));

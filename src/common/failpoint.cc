@@ -30,6 +30,7 @@ constexpr std::string_view kKnownSites[] = {
     "serve.read.eio",    ///< fd read reports a permanent I/O error
     "serve.write.eio",   ///< fd write reports a permanent I/O error
     "serve.write.short", ///< fd write transfers a single byte
+    "store.decode.fail", ///< compressed edge stream decode faults
     "store.fsync.fail",  ///< artifact temp-file fsync fails
     "store.mmap.fail",   ///< artifact mmap fails (buffered fallback)
     "store.open.fail",   ///< artifact file unreadable outright

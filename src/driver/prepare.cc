@@ -147,17 +147,32 @@ storeStatsText(const StoreSpec &spec)
     os << "\n";
     TextTable table;
     table.header({"file", "vertices", "edges", "tiles", "tiling",
-                  "KiB", "status"});
+                  "v", "codec", "KiB", "payloadKiB", "B/edge",
+                  "status"});
     for (const PlanArtifactInfo &a : artifacts) {
         std::ostringstream tiling;
         tiling << "C" << a.tiling.crossbarDim << " N"
                << a.tiling.crossbarsPerGe << " G" << a.tiling.numGe
                << " B" << a.tiling.blockSize;
+        // Payload bytes per edge: the compression-ratio column (a
+        // raw edge record is 16 bytes, so "delta" artifacts should
+        // sit far below that).
+        const std::string per_edge =
+            a.edges == 0 ? "-"
+                         : TextTable::num(
+                               static_cast<double>(a.payloadBytes) /
+                                   static_cast<double>(a.edges),
+                               2);
         table.row({a.file, std::to_string(a.vertices),
                    std::to_string(a.edges), std::to_string(a.tiles),
                    tiling.str(),
+                   a.version == 0 ? "?" : std::to_string(a.version),
+                   a.codec.empty() ? "?" : a.codec,
                    TextTable::num(static_cast<double>(a.bytes) / 1024.0,
                                   1),
+                   TextTable::num(
+                       static_cast<double>(a.payloadBytes) / 1024.0, 1),
+                   per_edge,
                    a.valid ? "ok" : "corrupt: " + a.issue});
     }
     table.print(os);

@@ -75,6 +75,21 @@ OrderedEdgeList::OrderedEdgeList(const GridPartition &partition,
 {
 }
 
+OrderedEdgeList::OrderedEdgeList(const GridPartition &partition,
+                                 TileChunkSource &chunks)
+    : partition_(partition)
+{
+    edges_.reserve(chunks.totalEdges());
+    tiles_.reserve(chunks.totalTiles());
+    TileChunkSource::Chunk chunk;
+    while (chunks.next(chunk)) {
+        tiles_.push_back(TileSpan{chunk.tileIndex, edges_.size(),
+                                  chunk.edges.size()});
+        edges_.insert(edges_.end(), chunk.edges.begin(),
+                      chunk.edges.end());
+    }
+}
+
 double
 OrderedEdgeList::occupancy() const
 {

@@ -31,6 +31,36 @@ struct TileSpan
 };
 
 /**
+ * Pull-based stream of already-ordered edges, one non-empty tile at a
+ * time. This is the streaming-decode seam between the on-disk plan
+ * store and the engine: a decoder materialises only one tile's edges
+ * in scratch memory per step, and OrderedEdgeList drains the stream
+ * without re-sorting. Implementations must yield tiles in strictly
+ * increasing tileIndex order with each tile's edges in streaming-apply
+ * (global order ID) order — the same canonical shape the sorting
+ * constructor produces.
+ */
+class TileChunkSource
+{
+  public:
+    struct Chunk
+    {
+        std::uint64_t tileIndex = 0;
+        /** Edges of this tile; valid only until the next next(). */
+        std::span<const Edge> edges;
+    };
+
+    virtual ~TileChunkSource() = default;
+
+    /** Advance to the next non-empty tile; false at end of stream. */
+    virtual bool next(Chunk &chunk) = 0;
+    /** Total edges the stream will yield (for reservation). */
+    virtual std::uint64_t totalEdges() const = 0;
+    /** Total non-empty tiles the stream will yield. */
+    virtual std::uint64_t totalTiles() const = 0;
+};
+
+/**
  * The ordered edge list plus the tile directory built from it. This
  * is the representation GraphR's controller streams out of memory
  * ReRAM; downstream consumers iterate non-empty tiles in order.
@@ -54,6 +84,15 @@ class OrderedEdgeList
     OrderedEdgeList(const GridPartition &partition,
                     std::vector<Edge> edges,
                     std::vector<TileSpan> tiles);
+
+    /**
+     * Drain a tile-at-a-time chunk source (streaming decode of a
+     * compressed plan artifact) without re-sorting. The source
+     * guarantees canonical streaming order; like the adopting
+     * constructor this does not count as a preprocessing sort.
+     */
+    OrderedEdgeList(const GridPartition &partition,
+                    TileChunkSource &chunks);
 
     const GridPartition &partition() const { return partition_; }
     std::span<const Edge> edges() const { return edges_; }

@@ -31,6 +31,14 @@ TilePlan::TilePlan(VertexId num_vertices, const TilingParams &tiling,
                   "tile directory and metadata table disagree");
 }
 
+TilePlan::TilePlan(VertexId num_vertices, const TilingParams &tiling,
+                   TileChunkSource &chunks,
+                   std::uint64_t graph_fingerprint)
+    : partition(num_vertices, tiling), ordered(partition, chunks),
+      meta(ordered), fingerprint(graph_fingerprint)
+{
+}
+
 std::uint64_t
 graphFingerprint(const CooGraph &graph)
 {

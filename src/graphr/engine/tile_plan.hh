@@ -54,6 +54,17 @@ struct TilePlan
              std::vector<Edge> edges, std::vector<TileSpan> tile_spans,
              std::vector<TileMeta> tile_meta, std::uint64_t total_nnz,
              std::uint64_t graph_fingerprint);
+
+    /**
+     * Assemble a plan by draining a tile-at-a-time chunk source (the
+     * streaming decode path of compressed plan artifacts): edges and
+     * tile spans come from the cursor without a sort, and the per-tile
+     * metadata is recomputed deterministically from the ordered list —
+     * the same code path a fresh prepare takes, so downstream results
+     * are byte-identical.
+     */
+    TilePlan(VertexId num_vertices, const TilingParams &tiling,
+             TileChunkSource &chunks, std::uint64_t graph_fingerprint);
 };
 
 /** Plans are shared (cache + concurrent runners): ref-counted const. */

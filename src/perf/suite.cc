@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdlib>
 #include <filesystem>
 #include <numeric>
 #include <sstream>
@@ -256,6 +257,63 @@ storeScenario(SuiteBuilder &b, const std::string &prefix,
 }
 
 /**
+ * The compressed-artifact scenario: raw vs delta footprint of one
+ * pinned graph's artifact plus the streaming-decode work of a warm
+ * load. The byte counts and decode counters are deterministic
+ * functions of the dataset, so they gate; only the wall clocks are
+ * trajectory points.
+ */
+void
+compressScenario(SuiteBuilder &b, const std::string &prefix,
+                 const std::string &dataset_spec)
+{
+    FingerprintCheck fp(dataset_spec);
+    const driver::ResolvedDataset dataset = fp.resolve();
+    const CooGraph &graph = dataset.graph;
+    const TilingParams tiling;
+    const TilePlan plan(graph, tiling);
+
+    const ScratchStoreDir dir;
+    const PlanStore store(dir.path());
+
+    // Raw footprint via the escape hatch. The suite runs these
+    // scenarios on one thread, so toggling the env var cannot race a
+    // concurrent save.
+    ::setenv("GRAPHR_STORE_RAW", "1", 1);
+    const double raw_bytes = static_cast<double>(
+        std::filesystem::file_size(store.save(plan, tiling)));
+    ::unsetenv("GRAPHR_STORE_RAW");
+
+    // Compressed save overwrites the same artifact name.
+    const std::string artifact = store.save(plan, tiling);
+    const double bytes = static_cast<double>(
+        std::filesystem::file_size(artifact));
+    b.scalar(prefix + ".raw_bytes", raw_bytes, "bytes", true);
+    b.scalar(prefix + ".bytes", bytes, "bytes", true);
+    b.scalar(prefix + ".bytes_per_edge",
+             bytes / static_cast<double>(graph.numEdges()), "bytes",
+             true);
+    b.scalar(prefix + ".compression_ratio", bytes / raw_bytes, "x",
+             true);
+
+    const std::uint64_t fingerprint = graphFingerprint(graph);
+    const RepStats warm = b.timed(
+        prefix + ".warm_decode_wall_s",
+        [&store, fingerprint, &tiling] {
+            doNotOptimize(store.load(fingerprint, tiling));
+        });
+    b.scalar(prefix + ".decoded_edges_per_rep",
+             warm.perRep("store.codec.decoded_edges"), "count", true,
+             "higher");
+    b.scalar(prefix + ".decoded_tiles_per_rep",
+             warm.perRep("store.codec.decoded_tiles"), "count", true,
+             "higher");
+    b.scalar(prefix + ".warm_sorts_per_rep",
+             warm.perRep("preprocess.sorts"), "count", true);
+    fp.resolve();
+}
+
+/**
  * The graphr_serve scenario: per-request latency of the daemon, warm
  * (process-resident PlanCache answers — the paper's online-phase
  * steady state) vs cold (caches dropped before every request — what
@@ -477,6 +535,8 @@ suiteSmall(SuiteBuilder &b)
     sweepScenario(b, "sweep.small", smallSweepSpec());
     storeScenario(b, "store.small",
                   "rmat:vertices=2048,edges=16384,seed=7");
+    compressScenario(b, "store.compress",
+                     "rmat:vertices=2048,edges=16384,seed=7");
     serveScenario(b, "serve.small",
                   "rmat:vertices=1024,edges=8192,seed=5");
     concurrentServeScenario(b, "serve.concurrent",
@@ -508,6 +568,8 @@ suiteStore(SuiteBuilder &b)
 {
     storeScenario(b, "store.medium",
                   "rmat:vertices=32768,edges=262144,seed=7");
+    compressScenario(b, "store.compress_medium",
+                     "rmat:vertices=32768,edges=262144,seed=7");
 }
 
 /** Developer-scale serve warm/cold request latency. */

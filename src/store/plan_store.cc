@@ -18,6 +18,7 @@
 #include "common/failpoint.hh"
 #include "common/logging.hh"
 #include "perf/counters.hh"
+#include "store/edge_codec.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define GRAPHR_STORE_HAVE_MMAP 1
@@ -37,6 +38,11 @@ namespace
 
 constexpr std::uint32_t kMagic = 'G' | ('P' << 8) | ('L' << 16) |
                                  ('N' << 24);
+/** Payload codec tags (first four payload bytes, format v2+). */
+constexpr std::uint32_t kCodecRaw = 'R' | ('A' << 8) | ('W' << 16) |
+                                    ('0' << 24);
+constexpr std::uint32_t kCodecDelta = 'D' | ('L' << 8) | ('T' << 16) |
+                                      ('1' << 24);
 constexpr std::size_t kHeaderBytes = 88;
 /** Bytes of the header covered by the header checksum. */
 constexpr std::size_t kHeaderChecksummedBytes = kHeaderBytes - 8;
@@ -57,6 +63,12 @@ class ByteWriter
         const std::size_t at = bytes_.size();
         bytes_.resize(at + sizeof(T));
         std::memcpy(bytes_.data() + at, &value, sizeof(T));
+    }
+
+    void
+    append(const unsigned char *data, std::size_t n)
+    {
+        bytes_.insert(bytes_.end(), data, data + n);
     }
 
     const std::vector<unsigned char> &bytes() const { return bytes_; }
@@ -732,14 +744,45 @@ PlanStore::load(std::uint64_t fingerprint,
     if (fnv1a64(payload, payload_size) != h.payloadChecksum)
         return reject("payload checksum mismatch");
 
-    PayloadParts parts;
-    if (!parsePayload(h, payload, payload_size, parts, issue))
-        return reject(issue);
+    if (payload_size < 4)
+        return reject("payload too small for a codec tag");
+    std::uint32_t codec = 0;
+    std::memcpy(&codec, payload, 4);
+    const unsigned char *body = payload + 4;
+    const std::size_t body_size = payload_size - 4;
 
-    TilePlanPtr plan = std::make_shared<const TilePlan>(
-        static_cast<VertexId>(h.vertices), h.tiling,
-        std::move(parts.edges), std::move(parts.spans),
-        std::move(parts.meta), h.totalNnz, h.fingerprint);
+    TilePlanPtr plan;
+    if (codec == kCodecRaw) {
+        PayloadParts parts;
+        if (!parsePayload(h, body, body_size, parts, issue))
+            return reject(issue);
+        plan = std::make_shared<const TilePlan>(
+            static_cast<VertexId>(h.vertices), h.tiling,
+            std::move(parts.edges), std::move(parts.spans),
+            std::move(parts.meta), h.totalNnz, h.fingerprint);
+    } else if (codec == kCodecDelta) {
+        // The delta body carries no metadata table, so every tile's
+        // nnz is its edge count and the header totals must agree.
+        if (h.totalNnz != h.edges)
+            return reject("total nnz disagrees with the edge count");
+        try {
+            // Safe after decodeHeader's tiling/vertex validation.
+            const GridPartition part(
+                static_cast<VertexId>(h.vertices), h.tiling);
+            EdgeStreamDecoder dec(part, body, body_size);
+            if (dec.totalEdges() != h.edges ||
+                dec.totalTiles() != h.tiles)
+                return reject("stream totals disagree with header");
+            plan = std::make_shared<const TilePlan>(
+                static_cast<VertexId>(h.vertices), h.tiling, dec,
+                h.fingerprint);
+        } catch (const CodecError &e) {
+            return reject(e.what());
+        }
+    } else {
+        return reject("unknown payload codec tag");
+    }
+
     loadHits_.fetch_add(1, std::memory_order_relaxed);
     perf::Registry::instance().counter("store.load_hits").add();
     return plan;
@@ -749,7 +792,27 @@ std::string
 PlanStore::save(const TilePlan &plan, const TilingParams &tiling) const
 {
     ByteWriter payload;
-    serializePayload(payload, plan);
+    const char *raw_env = std::getenv("GRAPHR_STORE_RAW");
+    const bool force_raw =
+        raw_env != nullptr && raw_env[0] != '\0' && raw_env[0] != '0';
+    bool wrote_delta = false;
+    if (!force_raw) {
+        const std::vector<unsigned char> stream = encodeEdgeStream(
+            plan.partition, plan.ordered.edges(), plan.ordered.tiles());
+        // Respect the decoder's expansion bound: a duplicate-heavy
+        // stream the decoder would refuse is written raw instead, so
+        // every artifact the store emits is loadable.
+        if (plan.ordered.edges().size() <=
+            stream.size() * kMaxEdgesPerStreamByte) {
+            payload.raw(kCodecDelta);
+            payload.append(stream.data(), stream.size());
+            wrote_delta = true;
+        }
+    }
+    if (!wrote_delta) {
+        payload.raw(kCodecRaw);
+        serializePayload(payload, plan);
+    }
 
     Header h;
     h.version = kFormatVersion;
@@ -891,17 +954,59 @@ PlanStore::list() const
             info.vertices = h.vertices;
             info.edges = h.edges;
             info.tiles = h.tiles;
+            info.payloadBytes = h.payloadBytes;
             const unsigned char *payload =
                 bytes.data() + kHeaderBytes;
             const std::size_t payload_size =
                 bytes.size() - kHeaderBytes;
-            PayloadParts parts;
-            if (fnv1a64(payload, payload_size) != h.payloadChecksum)
+            if (fnv1a64(payload, payload_size) != h.payloadChecksum) {
                 issue = "payload checksum mismatch";
-            else if (parsePayload(h, payload, payload_size, parts,
-                                  issue))
-                info.valid = true;
+            } else if (payload_size < 4) {
+                issue = "payload too small for a codec tag";
+            } else {
+                std::uint32_t codec = 0;
+                std::memcpy(&codec, payload, 4);
+                const unsigned char *body = payload + 4;
+                const std::size_t body_size = payload_size - 4;
+                if (codec == kCodecRaw) {
+                    info.codec = "raw";
+                    PayloadParts parts;
+                    if (parsePayload(h, body, body_size, parts,
+                                     issue))
+                        info.valid = true;
+                } else if (codec == kCodecDelta) {
+                    info.codec = "delta";
+                    // Full decode-drain: listing promises the same
+                    // validation depth a load performs.
+                    try {
+                        const GridPartition part(
+                            static_cast<VertexId>(h.vertices),
+                            h.tiling);
+                        EdgeStreamDecoder dec(part, body, body_size);
+                        std::uint64_t edges = 0;
+                        std::uint64_t tiles = 0;
+                        TileChunkSource::Chunk chunk;
+                        while (dec.next(chunk)) {
+                            edges += chunk.edges.size();
+                            ++tiles;
+                        }
+                        if (edges != h.edges || tiles != h.tiles)
+                            issue = "stream totals disagree with "
+                                    "header";
+                        else if (h.totalNnz != h.edges)
+                            issue = "total nnz disagrees with the "
+                                    "edge count";
+                        else
+                            info.valid = true;
+                    } catch (const CodecError &e) {
+                        issue = e.what();
+                    }
+                } else {
+                    issue = "unknown payload codec tag";
+                }
+            }
         }
+        info.version = h.version;
         info.issue = info.valid ? "" : issue;
         out.push_back(std::move(info));
     }

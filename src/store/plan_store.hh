@@ -15,7 +15,7 @@
  *
  *   header (88 bytes):
  *     u32  magic "GPLN"
- *     u32  format version
+ *     u32  format version (currently 2)
  *     u64  graph fingerprint (graphFingerprint, FNV-1a)
  *     u64  vertex count
  *     u32  crossbarDim, u32 crossbarsPerGe, u32 numGe, u32 blockSize
@@ -25,11 +25,29 @@
  *     u64  payload byte count
  *     u64  payload checksum (FNV-1a over the payload bytes)
  *     u64  header checksum (FNV-1a over the 80 bytes above)
- *   payload:
- *     edges   edge count x (u32 src, u32 dst, f64 weight) in
- *             streaming-apply order (the sorted result, byte-exact)
- *     spans   tile count x (u64 tileIndex, u64 firstEdge, u64 numEdges)
- *     meta    tile count x TileMeta record (fixed fields + rowNnz[])
+ *   payload (format v2):
+ *     u32  codec tag — "DLT1" (compressed, the default) or "RAW0"
+ *     body per codec:
+ *       DLT1  the bit-packed delta-coded edge stream of
+ *             store/edge_codec.hh: per-tile local-cell-ID delta
+ *             streams (fixed-width low-bits plane + zero-run/varint
+ *             exception stream) with per-tile weight modes. Tile
+ *             spans are implicit in the stream and the per-tile
+ *             metadata is recomputed on load — warm results stay
+ *             byte-identical because the recomputation is the same
+ *             deterministic code a fresh prepare runs.
+ *       RAW0  the uncompressed layout (GRAPHR_STORE_RAW=1 saves, and
+ *             the automatic fallback for streams so duplicate-heavy
+ *             they would trip the codec's decode-expansion bound):
+ *         edges  edge count x (u32 src, u32 dst, f64 weight) in
+ *                streaming-apply order (the sorted result, byte-exact)
+ *         spans  tile count x (u64 tileIndex, u64 firstEdge,
+ *                u64 numEdges)
+ *         meta   tile count x TileMeta record (fixed fields + rowNnz[])
+ *
+ * Format v1 (the RAW0 layout with no codec tag) is not migrated:
+ * version-gated loads reject it and the caller transparently
+ * re-prepares and re-saves, per the store's versioning contract.
  *
  * Loads validate magic -> version -> header checksum -> fingerprint &
  * tiling -> payload size & checksum before any payload is trusted;
@@ -88,11 +106,14 @@ struct PlanArtifactInfo
     bool valid = false;  ///< full header + payload validation passed
     std::string issue;   ///< why invalid ("" when valid)
     // Header fields (meaningful when the header was readable):
+    std::uint32_t version = 0; ///< on-disk format version (0: unread)
     std::uint64_t fingerprint = 0;
     TilingParams tiling;
     std::uint64_t vertices = 0;
     std::uint64_t edges = 0;
     std::uint64_t tiles = 0;
+    std::uint64_t payloadBytes = 0; ///< payload size per the header
+    std::string codec; ///< payload codec: "delta", "raw", "" unknown
 };
 
 /**
@@ -108,7 +129,7 @@ struct PlanArtifactInfo
 class PlanStore
 {
   public:
-    static constexpr std::uint32_t kFormatVersion = 1;
+    static constexpr std::uint32_t kFormatVersion = 2;
 
     /** Load/save/reject counters since construction. */
     struct Stats

@@ -75,6 +75,10 @@ for site in $sites; do
   case "$site" in
     store.open.fail|store.mmap.fail)
       kind=transient; cp -r "$prepared" "$plan_dir" ;;
+    store.decode.fail)
+      # Compressed-stream decode faults mid-load: the store degrades
+      # to a fresh prepare and the response stays byte-identical.
+      kind=transient; cp -r "$prepared" "$plan_dir" ;;
     store.read.eintr|store.read.short)
       # Only the buffered (non-mmap) reader has a read loop to fault.
       kind=transient; cp -r "$prepared" "$plan_dir"

@@ -11,17 +11,22 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/checksum.hh"
+#include "common/failpoint.hh"
 #include "driver/driver.hh"
 #include "driver/prepare.hh"
 #include "driver/run_result.hh"
 #include "graph/generator.hh"
 #include "graph/preprocess.hh"
 #include "graphr/engine/plan_cache.hh"
+#include "perf/counters.hh"
 #include "store/plan_store.hh"
 
 namespace graphr
@@ -315,7 +320,9 @@ TEST_F(PlanStoreTest, SemanticallyInvalidArtifactIsRejected)
     // Checksums guard against corruption, not buggy writers: an
     // artifact whose payload is internally consistent bytes but
     // semantic nonsense (a tile origin outside the graph) must be
-    // rejected before it can reach downstream index arithmetic.
+    // rejected before it can reach downstream index arithmetic. Only
+    // the raw codec carries a metadata table (the delta codec
+    // recomputes it on load), so pin the save to the raw layout.
     const std::string dir = freshDir("semantic");
     const CooGraph g = testGraph();
     const TilingParams tiling;
@@ -332,7 +339,9 @@ TEST_F(PlanStoreTest, SemanticallyInvalidArtifactIsRejected)
                          direct.meta.totalNnz(), direct.fingerprint);
 
     PlanStore store(dir);
+    ::setenv("GRAPHR_STORE_RAW", "1", 1);
     store.save(bogus, tiling);
+    ::unsetenv("GRAPHR_STORE_RAW");
     EXPECT_EQ(store.load(direct.fingerprint, tiling), nullptr);
     EXPECT_GE(store.stats().loadRejects, 1u);
 
@@ -554,6 +563,396 @@ TEST_F(PlanStoreTest, ParallelPrepareMatchesSerial)
         sb << fb.rdbuf();
         EXPECT_EQ(sa.str(), sb.str()) << serial[i].file;
     }
+}
+
+// ------------------------------------- compressed-format corruption
+//
+// The v2 payload is a codec-tagged compressed stream; this matrix
+// drives corruption through every layer that could catch it: the
+// payload checksum (plain flips), the stream decoder (re-checksummed
+// garbage), version gating (old artifacts), and the mid-decode
+// failpoint. Every row degrades to a fresh prepare — never a crash —
+// and bumps store.degraded_loads.
+
+std::vector<unsigned char>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string s = ss.str();
+    return std::vector<unsigned char>(s.begin(), s.end());
+}
+
+void
+writeFileBytes(const std::string &path,
+               const std::vector<unsigned char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/**
+ * Recompute the payload checksum (offset 72) and header checksum
+ * (offset 80, over the first 80 bytes) after mutating an artifact, so
+ * the mutation reaches the stream decoder instead of being caught by
+ * the checksum layer.
+ */
+void
+resealChecksums(std::vector<unsigned char> &bytes)
+{
+    ASSERT_GE(bytes.size(), 88u);
+    const std::uint64_t payload_sum =
+        fnv1a64(bytes.data() + 88, bytes.size() - 88);
+    std::memcpy(bytes.data() + 72, &payload_sum, 8);
+    const std::uint64_t header_sum = fnv1a64(bytes.data(), 80);
+    std::memcpy(bytes.data() + 80, &header_sum, 8);
+}
+
+TEST_F(PlanStoreTest, CompressedPayloadBitFlipSweepDegrades)
+{
+    // Plain single-byte flips across the compressed payload: every
+    // one is caught by the payload checksum before the decoder runs.
+    const std::string dir = freshDir("cflip");
+    const CooGraph g = testGraph();
+    const TilingParams tiling;
+    const TilePlan direct(g, tiling);
+    PlanStore(dir).save(direct, tiling);
+    const std::string file = artifactPath(dir, direct, tiling);
+    const std::vector<unsigned char> pristine = readFileBytes(file);
+    ASSERT_GT(pristine.size(), 96u);
+
+    for (std::size_t at = 88; at < pristine.size();
+         at += 17) { // sample across the whole stream
+        SCOPED_TRACE("flip at byte " + std::to_string(at));
+        std::vector<unsigned char> mutated = pristine;
+        mutated[at] ^= 0x20;
+        writeFileBytes(file, mutated);
+        PlanStore store(dir);
+        EXPECT_EQ(store.load(direct.fingerprint, tiling), nullptr);
+        EXPECT_EQ(store.stats().loadRejects, 1u);
+    }
+    writeFileBytes(file, pristine);
+    EXPECT_NE(PlanStore(dir).load(direct.fingerprint, tiling),
+              nullptr);
+}
+
+TEST_F(PlanStoreTest, ValidHeaderGarbageStreamDegrades)
+{
+    // A hostile writer can make checksums match arbitrary bytes, so
+    // reseal after replacing the stream with garbage: the decoder
+    // itself must reject, and the end-to-end path must re-prepare.
+    const std::string dir = freshDir("garbage");
+    const CooGraph g = testGraph();
+    const TilingParams tiling;
+    const TilePlan direct(g, tiling);
+    PlanStore(dir).save(direct, tiling);
+    const std::string file = artifactPath(dir, direct, tiling);
+
+    std::vector<unsigned char> bytes = readFileBytes(file);
+    // Keep the codec tag, trash the stream body (0xff runs decode as
+    // overlong varints and are rejected deterministically).
+    for (std::size_t i = 92; i < bytes.size(); ++i)
+        bytes[i] = 0xff;
+    resealChecksums(bytes);
+    writeFileBytes(file, bytes);
+    expectFreshPrepareFallback(dir, g, tiling, direct);
+
+    // An unknown codec tag is rejected the same way.
+    bytes = readFileBytes(file);
+    std::memcpy(bytes.data() + 88, "????", 4);
+    resealChecksums(bytes);
+    writeFileBytes(file, bytes);
+    PlanStore store(dir);
+    EXPECT_EQ(store.load(direct.fingerprint, tiling), nullptr);
+}
+
+TEST_F(PlanStoreTest, TruncatedCompressedStreamDegrades)
+{
+    // Truncation *with* a reseal: the header's payload-size field
+    // catches it first; truncation of just the stream body (size
+    // field patched too) reaches the decoder's totals check.
+    const std::string dir = freshDir("ctrunc");
+    const CooGraph g = testGraph();
+    const TilingParams tiling;
+    const TilePlan direct(g, tiling);
+    PlanStore(dir).save(direct, tiling);
+    const std::string file = artifactPath(dir, direct, tiling);
+
+    std::vector<unsigned char> bytes = readFileBytes(file);
+    bytes.resize(bytes.size() - 9);
+    const std::uint64_t new_payload = bytes.size() - 88;
+    std::memcpy(bytes.data() + 64, &new_payload, 8);
+    resealChecksums(bytes);
+    writeFileBytes(file, bytes);
+    expectFreshPrepareFallback(dir, g, tiling, direct);
+}
+
+TEST_F(PlanStoreTest, OldFormatVersionArtifactIsRepreparedAndUpgraded)
+{
+    // The PR-4 versioning contract: an artifact written under an
+    // older kFormatVersion is rejected by version gating, the caller
+    // re-prepares transparently, and the write-through save leaves an
+    // upgraded artifact behind.
+    const std::string dir = freshDir("oldversion");
+    const CooGraph g = testGraph();
+    const TilingParams tiling;
+    const TilePlan direct(g, tiling);
+    PlanStore(dir).save(direct, tiling);
+    const std::string file = artifactPath(dir, direct, tiling);
+
+    std::vector<unsigned char> bytes = readFileBytes(file);
+    const std::uint32_t v1 = 1;
+    std::memcpy(bytes.data() + 4, &v1, 4);
+    resealChecksums(bytes);
+    writeFileBytes(file, bytes);
+
+    expectFreshPrepareFallback(dir, g, tiling, direct);
+
+    // expectFreshPrepareFallback's PlanCache had the store attached,
+    // so the re-prepare wrote through: the file is v2 again.
+    const std::vector<PlanArtifactInfo> infos = PlanStore(dir).list();
+    ASSERT_EQ(infos.size(), 1u);
+    EXPECT_TRUE(infos[0].valid) << infos[0].issue;
+    EXPECT_EQ(infos[0].version, PlanStore::kFormatVersion);
+}
+
+TEST_F(PlanStoreTest, DegradedLoadCounterTracksEveryReject)
+{
+    const std::string dir = freshDir("degraded");
+    const CooGraph g = testGraph();
+    const TilingParams tiling;
+    const TilePlan direct(g, tiling);
+    PlanStore(dir).save(direct, tiling);
+    const std::string file = artifactPath(dir, direct, tiling);
+    fs::resize_file(file, 50);
+
+    perf::Counter &degraded =
+        perf::Registry::instance().counter("store.degraded_loads");
+    const std::uint64_t before = degraded.value();
+    EXPECT_EQ(PlanStore(dir).load(direct.fingerprint, tiling),
+              nullptr);
+    EXPECT_EQ(degraded.value(), before + 1);
+}
+
+TEST_F(PlanStoreTest, ReadFailpointsMidDecodeDegradeOrRecover)
+{
+    // store.read.* fire inside the buffered reader while the
+    // compressed artifact streams in: EINTR is transient (absorbed by
+    // the retry loop, load still succeeds), a short read truncates
+    // (degrade to fresh prepare).
+    const std::string dir = freshDir("readfp");
+    const CooGraph g = testGraph();
+    const TilingParams tiling;
+    const TilePlan direct(g, tiling);
+    PlanStore(dir).save(direct, tiling);
+    ::setenv("GRAPHR_STORE_NO_MMAP", "1", 1);
+
+    failpoint::configure("store.read.eintr:1@1");
+    const TilePlanPtr recovered =
+        PlanStore(dir).load(direct.fingerprint, tiling);
+    ASSERT_NE(recovered, nullptr);
+    expectPlansEqual(direct, *recovered);
+
+    failpoint::configure("store.read.short:1@1");
+    {
+        PlanStore store(dir);
+        EXPECT_EQ(store.load(direct.fingerprint, tiling), nullptr);
+        EXPECT_EQ(store.stats().loadRejects, 1u);
+    }
+
+    // End to end while the fault is armed: PlanCache degrades to a
+    // fresh prepare and still produces an identical plan. (The
+    // artifact itself is undamaged — once the failpoint is disarmed
+    // it loads normally again.)
+    failpoint::configure("store.read.short:1@1");
+    PlanCache cache;
+    cache.setStore(std::make_shared<PlanStore>(dir));
+    const std::uint64_t sorts_before =
+        OrderedEdgeList::sortsPerformed();
+    const TilePlanPtr reprepared = cache.get(g, tiling);
+    EXPECT_EQ(OrderedEdgeList::sortsPerformed(), sorts_before + 1)
+        << "fallback must re-run the preprocessing sort";
+    expectPlansEqual(direct, *reprepared);
+
+    failpoint::disarmAll();
+    ::unsetenv("GRAPHR_STORE_NO_MMAP");
+    const TilePlanPtr healthy =
+        PlanStore(dir).load(direct.fingerprint, tiling);
+    ASSERT_NE(healthy, nullptr);
+    expectPlansEqual(direct, *healthy);
+}
+
+TEST_F(PlanStoreTest, DecodeFailpointFallsBackToFreshPrepare)
+{
+    // store.decode.fail faults the stream decoder itself mid-load —
+    // the CodecError is contained by the store's reject path.
+    const std::string dir = freshDir("decodefp");
+    const CooGraph g = testGraph();
+    const TilingParams tiling;
+    const TilePlan direct(g, tiling);
+    PlanStore(dir).save(direct, tiling);
+
+    failpoint::configure("store.decode.fail:1@1");
+    {
+        PlanStore store(dir);
+        EXPECT_EQ(store.load(direct.fingerprint, tiling), nullptr);
+        EXPECT_EQ(store.stats().loadRejects, 1u);
+    }
+    failpoint::disarmAll();
+
+    // Disarmed, the same artifact loads fine — nothing was damaged.
+    const TilePlanPtr loaded =
+        PlanStore(dir).load(direct.fingerprint, tiling);
+    ASSERT_NE(loaded, nullptr);
+    expectPlansEqual(direct, *loaded);
+}
+
+// --------------------------------------------- raw escape hatch
+
+TEST_F(PlanStoreTest, RawEscapeHatchWritesUncompressedArtifacts)
+{
+    const std::string raw_dir = freshDir("raw");
+    const std::string delta_dir = freshDir("delta");
+    const CooGraph g = testGraph();
+    const TilingParams tiling;
+    const TilePlan direct(g, tiling);
+
+    ::setenv("GRAPHR_STORE_RAW", "1", 1);
+    PlanStore(raw_dir).save(direct, tiling);
+    ::unsetenv("GRAPHR_STORE_RAW");
+    PlanStore(delta_dir).save(direct, tiling);
+
+    const std::vector<PlanArtifactInfo> raw_list =
+        PlanStore(raw_dir).list();
+    const std::vector<PlanArtifactInfo> delta_list =
+        PlanStore(delta_dir).list();
+    ASSERT_EQ(raw_list.size(), 1u);
+    ASSERT_EQ(delta_list.size(), 1u);
+    EXPECT_TRUE(raw_list[0].valid) << raw_list[0].issue;
+    EXPECT_TRUE(delta_list[0].valid) << delta_list[0].issue;
+    EXPECT_EQ(raw_list[0].codec, "raw");
+    EXPECT_EQ(delta_list[0].codec, "delta");
+
+    // Both decode to the same plan; the compressed one is at most
+    // half the raw bytes even at this small size.
+    const TilePlanPtr from_raw =
+        PlanStore(raw_dir).load(direct.fingerprint, tiling);
+    const TilePlanPtr from_delta =
+        PlanStore(delta_dir).load(direct.fingerprint, tiling);
+    ASSERT_NE(from_raw, nullptr);
+    ASSERT_NE(from_delta, nullptr);
+    expectPlansEqual(direct, *from_raw);
+    expectPlansEqual(direct, *from_delta);
+    EXPECT_LE(delta_list[0].bytes * 2, raw_list[0].bytes);
+}
+
+TEST_F(PlanStoreTest, RawAndCompressedWarmSweepsAreByteIdentical)
+{
+    // The whole point of recomputing metadata on decode: warm sweep
+    // reports must not depend on the artifact codec, serial or
+    // parallel.
+    for (const std::uint32_t jobs : {1u, 4u}) {
+        const std::string raw_dir =
+            freshDir("codec_raw_j" + std::to_string(jobs));
+        const std::string delta_dir =
+            freshDir("codec_delta_j" + std::to_string(jobs));
+
+        ::setenv("GRAPHR_STORE_RAW", "1", 1);
+        sweepJson(sweepSpec(raw_dir, jobs)); // cold, writes raw
+        ::unsetenv("GRAPHR_STORE_RAW");
+        sweepJson(sweepSpec(delta_dir, jobs)); // cold, writes delta
+
+        const std::string warm_raw =
+            sweepJson(sweepSpec(raw_dir, jobs));
+        const std::string warm_delta =
+            sweepJson(sweepSpec(delta_dir, jobs));
+        EXPECT_EQ(warm_raw, warm_delta) << "jobs=" << jobs;
+    }
+}
+
+// --------------------------------------------- golden artifact
+
+/** The golden run: must mirror test_driver's runGoldenReport(). */
+std::string
+goldenRunJson(const std::string &plan_dir)
+{
+    driver::RunSpec spec;
+    spec.workload = "pagerank";
+    spec.backend = "graphr";
+    spec.dataset = "rmat:vertices=256,edges=2048,seed=7";
+    spec.params = driver::ParamMap::parse("iterations=10,tolerance=0");
+    spec.store.planDir = plan_dir;
+    PlanCache::instance().clear();
+    const driver::RunResult result = driver::runOne(spec);
+    std::ostringstream oss;
+    driver::writeResultsJson(oss, {result});
+    return oss.str();
+}
+
+TEST_F(PlanStoreTest, GoldenCompressedArtifactDecodesToGoldenReport)
+{
+    // Format-drift tripwire: a checked-in compressed artifact must
+    // keep decoding — sort-free — to the exact golden sweep JSON. If
+    // the codec or the artifact layout changes incompatibly, this
+    // fails at review time instead of corrupting user stores.
+    const fs::path golden(GRAPHR_GOLDEN_DIR);
+    const std::string dir = freshDir("golden_artifact");
+    fs::create_directories(dir);
+    std::size_t copied = 0;
+    for (const fs::directory_entry &e : fs::directory_iterator(golden)) {
+        if (e.path().extension() == ".gplan") {
+            fs::copy_file(e.path(),
+                          fs::path(dir) / e.path().filename());
+            ++copied;
+        }
+    }
+    ASSERT_GE(copied, 1u)
+        << "no golden .gplan artifact — regenerate with "
+           "GRAPHR_UPDATE_GOLDEN=1 ./test_store";
+
+    // Every checked-in artifact validates as a current-version
+    // compressed artifact.
+    for (const PlanArtifactInfo &info : PlanStore(dir).list()) {
+        EXPECT_TRUE(info.valid) << info.file << ": " << info.issue;
+        EXPECT_EQ(info.version, PlanStore::kFormatVersion)
+            << info.file;
+        EXPECT_EQ(info.codec, "delta") << info.file;
+    }
+
+    const std::uint64_t sorts_before =
+        OrderedEdgeList::sortsPerformed();
+    const std::string report = goldenRunJson(dir);
+    EXPECT_EQ(OrderedEdgeList::sortsPerformed(), sorts_before)
+        << "golden artifact did not satisfy the prepare";
+
+    std::ifstream in((golden / "pagerank_rmat.json").string());
+    ASSERT_TRUE(in) << "missing golden JSON report";
+    std::stringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(report, want.str())
+        << "compressed-artifact run drifted from the golden report";
+}
+
+/** Regeneration helper: GRAPHR_UPDATE_GOLDEN=1 rewrites the golden
+ *  compressed artifact (the JSON report belongs to test_driver). */
+TEST_F(PlanStoreTest, UpdateGoldenArtifactWhenRequested)
+{
+    if (!std::getenv("GRAPHR_UPDATE_GOLDEN"))
+        GTEST_SKIP() << "set GRAPHR_UPDATE_GOLDEN=1 to rewrite";
+    const fs::path golden(GRAPHR_GOLDEN_DIR);
+    for (const fs::directory_entry &e :
+         fs::directory_iterator(golden)) {
+        if (e.path().extension() == ".gplan")
+            fs::remove(e.path());
+    }
+    driver::PrepareSpec prep;
+    prep.datasets = {"rmat:vertices=256,edges=2048,seed=7"};
+    prep.store.planDir = golden.string();
+    const std::vector<driver::PrepareResult> out =
+        driver::runPrepare(prep);
+    ASSERT_EQ(out.size(), 2u);
 }
 
 } // namespace
